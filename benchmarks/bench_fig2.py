@@ -1,0 +1,84 @@
+"""Fig. 2 — the optimal MIG for S_{0,2}(x1, x2, x3, x4).
+
+The paper's hardest 4-variable NPN class is the symmetric function
+S_{0,2}, the single class requiring 7 majority nodes (last row of
+Table I); Fig. 2 shows one optimal MIG.  We regenerate the structure from
+the database entry of the class, verify its function, and report its size
+against the paper's 7.
+
+Timed kernel: database lookup + structural instantiation of the class.
+"""
+
+from __future__ import annotations
+
+from harness import render_table, write_result
+
+from repro.core.mig import Mig
+from repro.core.npn import npn_canonize
+from repro.core.truth_table import tt_mask
+
+
+def s02_truth_table() -> int:
+    """S_{0,2}: true iff exactly 0 or 2 of the four inputs are true."""
+    tt = 0
+    for m in range(16):
+        if bin(m).count("1") in (0, 2):
+            tt |= 1 << m
+    return tt
+
+
+def test_fig2_reproduction(db, benchmark):
+    spec = s02_truth_table()
+    rep, _ = npn_canonize(spec, 4)
+    entry = db.entries[rep]
+
+    def instantiate() -> Mig:
+        mig = Mig(4)
+        mig.add_po(db.rebuild(mig, spec, mig.pi_signals()))
+        return mig.cleanup()
+
+    mig = benchmark(instantiate)
+    assert mig.simulate()[0] == spec
+
+    expression = mig.to_expression(mig.outputs[0])
+    headers = ["Property", "Ours", "Paper"]
+    rows = [
+        ["truth table", f"0x{spec:04x}", "S_{0,2}"],
+        ["NPN representative", f"0x{rep:04x}", "-"],
+        ["MIG size", str(mig.num_gates), "7"],
+        ["MIG depth", str(mig.depth()), "3 (Fig. 2 drawing)"],
+        ["size proven minimal", str(entry.proven), "yes (SMT)"],
+        ["expression", expression[:70], "Fig. 2"],
+    ]
+    text = render_table(headers, rows, "Fig. 2 — optimal MIG for S_{0,2}")
+    print("\n" + text)
+    write_result("fig2", text)
+
+    # The paper proves 7 is optimal; our entry can only match or exceed it.
+    assert mig.num_gates >= 7
+    assert mig.num_gates <= 9  # L(f) bound from the tree database
+
+
+def test_fig2_class_is_among_hardest(db):
+    """S_{0,2} needs 7 gates in the paper — it must rank near the database top."""
+    spec = s02_truth_table()
+    rep, _ = npn_canonize(spec, 4)
+    size = db.entries[rep].size
+    assert 7 <= size <= 9  # paper optimum 7; tree bound L = 9
+    harder = sum(1 for e in db.entries.values() if e.size > size)
+    assert harder <= 3
+
+
+def test_fig2_complement_structure(db):
+    """S_{0,2} is NPN-equivalent to (x1^x2^x3^x4) | x1x2x3x4 (paper text)."""
+    from repro.core.npn import npn_representative
+    from repro.core.truth_table import tt_var
+
+    parity = 0
+    for i in range(4):
+        parity ^= tt_var(4, i)
+    conj = tt_mask(4)
+    for i in range(4):
+        conj &= tt_var(4, i)
+    alt = parity | conj
+    assert npn_representative(alt, 4) == npn_representative(s02_truth_table(), 4)

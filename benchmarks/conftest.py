@@ -1,0 +1,26 @@
+"""Shared fixtures for the reproduction benchmarks."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.database import NpnDatabase
+
+
+@pytest.fixture(scope="session")
+def db() -> NpnDatabase:
+    """The packaged NPN-4 database."""
+    return NpnDatabase.load()
+
+
+@pytest.fixture(scope="session")
+def table3_runs(db):
+    """The Table III flow results, shared with the Table IV benchmark."""
+    from flows import run_table3_flow
+
+    return run_table3_flow(db)

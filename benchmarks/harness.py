@@ -1,0 +1,91 @@
+"""Shared infrastructure for the table/figure reproduction benchmarks.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper.  Each
+prints its table to stdout (run ``pytest benchmarks/ --benchmark-only -s``
+to see them live) and writes it to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can reference stable artifacts.
+
+The paper-sized benchmark widths take hours in pure Python, so Table III/IV
+default to reduced widths (same structure generators); set the environment
+variable ``REPRO_FULL_SIZE=1`` for the paper's exact I/O sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper values for Table I: majority nodes -> (classes, functions).
+PAPER_TABLE1 = {
+    0: (2, 10),
+    1: (2, 80),
+    2: (5, 640),
+    3: (18, 3300),
+    4: (42, 10352),
+    5: (117, 40064),
+    6: (35, 11058),
+    7: (1, 32),
+}
+
+#: Paper values for Table III: benchmark -> (initial size, initial depth).
+PAPER_TABLE3_BASELINE = {
+    "adder": (2978, 12),
+    "divisor": (75666, 636),
+    "log2": (37582, 181),
+    "max": (7202, 27),
+    "multiplier": (41885, 111),
+    "sine": (7890, 91),
+    "square-root": (52344, 690),
+    "square": (19200, 36),
+}
+
+#: Paper Table III average improvement rows (size ratio, depth ratio).
+PAPER_TABLE3_AVERAGES = {
+    "TF": (0.96, 1.09),
+    "T": (1.02, 1.12),
+    "TFD": (1.00, 1.00),
+    "TD": (0.99, 1.02),
+    "BF": (0.92, 1.14),
+}
+
+#: The variant columns of Tables III and IV, in paper order.
+PAPER_VARIANTS = ("TF", "T", "TFD", "TD", "BF")
+
+
+def full_size() -> bool:
+    """True when the harness should use the paper's exact benchmark sizes."""
+    return os.environ.get("REPRO_FULL_SIZE", "") not in ("", "0")
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str) -> str:
+    """Render a simple aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the paper's 'average improvement' aggregation)."""
+    if not values:
+        return 1.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,52 @@
+"""Technology mapping before and after MIG optimization (Table IV style).
+
+Maps an arithmetic benchmark onto the generic standard-cell library with
+the cut-based mapper, then optimizes the MIG with functional hashing and
+maps again, showing the area improvement that Table IV reports for the
+EPFL suite.
+
+Run:  python examples/technology_mapping.py [benchmark] [width]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.database import NpnDatabase
+from repro.generators.epfl import SUITE_SPECS
+from repro.mapping.library import default_library
+from repro.mapping.mapper import map_mig
+from repro.rewriting import functional_hashing
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "divisor"
+    width = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    _, generator, _, _ = SUITE_SPECS[name]
+    mig = generator(width=width)
+    library = default_library()
+    print(f"{mig.name}: size {mig.num_gates}, depth {mig.depth()}")
+    print(f"library: {len(library)} cells, NPN-matched up to 4 inputs\n")
+
+    base = map_mig(mig, library)
+    print(f"mapped baseline:   {base}")
+
+    db = NpnDatabase.load()
+    best_name, best = None, None
+    for variant in ("TF", "T", "TD", "BF"):
+        optimized = functional_hashing(mig, db, variant)
+        mapped = map_mig(optimized, library)
+        marker = ""
+        if best is None or mapped.area < best.area:
+            best_name, best = variant, mapped
+            marker = "  <- best so far"
+        print(f"mapped after {variant:3}:  {mapped}{marker}")
+
+    ratio = best.area / base.area
+    print(f"\nbest variant: {best_name}  (area ratio {ratio:.3f} vs unoptimized)")
+    print("Table IV analogue: different variants win on different instances,")
+    print("which is why the paper keeps all of them.")
+
+
+if __name__ == "__main__":
+    main()

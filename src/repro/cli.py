@@ -1,0 +1,184 @@
+"""Command-line interface: generate / read, optimize, map, and report.
+
+Modeled on the CirKit-style flows the paper's implementation shipped in::
+
+    migopt stats --generate adder --width 16
+    migopt optimize --generate multiplier --width 8 --variant BF --verify
+    migopt optimize --blif circuit.blif --variant TFD -o out.blif
+    migopt map --generate sine --width 10 --variant BF
+    migopt exact --tt 0x1668
+    migopt flow --generate log2 --width 10 --script depth,BF,TFD,BF
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.mig import Mig
+from .core.simulate import check_equivalence
+from .database import NpnDatabase
+from .exact.synthesis import synthesize_exact
+from .generators.epfl import SUITE_SPECS
+from .io.bench import read_bench, write_bench
+from .io.blif import read_blif, write_blif
+from .io.verilog import write_verilog
+from .mapping.mapper import map_mig
+from .opt.depth_opt import optimize_depth
+from .rewriting.engine import VARIANTS, functional_hashing
+
+__all__ = ["main"]
+
+
+def _load_network(args: argparse.Namespace) -> Mig:
+    if args.generate is not None:
+        if args.generate not in SUITE_SPECS:
+            raise SystemExit(
+                f"unknown generator {args.generate!r}; choose from {sorted(SUITE_SPECS)}"
+            )
+        _, generator, full_kwargs, scaled_kwargs = SUITE_SPECS[args.generate]
+        kwargs = dict(scaled_kwargs)
+        if args.width is not None:
+            kwargs = {"width": args.width}
+        return generator(**kwargs)
+    if args.blif is not None:
+        with open(args.blif, "r", encoding="utf-8") as fp:
+            return read_blif(fp)
+    if getattr(args, "bench", None) is not None:
+        with open(args.bench, "r", encoding="utf-8") as fp:
+            return read_bench(fp)
+    raise SystemExit("specify a circuit with --generate NAME, --blif FILE, or --bench FILE")
+
+
+def _write_network(mig: Mig, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        if path.endswith(".v"):
+            write_verilog(mig, fp)
+        elif path.endswith(".bench"):
+            write_bench(mig, fp)
+        else:
+            write_blif(mig, fp)
+
+
+def _add_input_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--generate", help=f"built-in generator: {sorted(SUITE_SPECS)}")
+    parser.add_argument("--width", type=int, help="generator bit-width override")
+    parser.add_argument("--blif", help="read the circuit from a BLIF file")
+    parser.add_argument("--bench", help="read the circuit from an ISCAS .bench file")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="migopt", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print size/depth of a circuit")
+    _add_input_args(p_stats)
+
+    p_opt = sub.add_parser("optimize", help="functional hashing size optimization")
+    _add_input_args(p_opt)
+    p_opt.add_argument("--variant", default="BF", choices=VARIANTS)
+    p_opt.add_argument("--depth-opt", action="store_true",
+                       help="run algebraic depth optimization first (paper baseline)")
+    p_opt.add_argument("--verify", action="store_true",
+                       help="check functional equivalence after optimization")
+    p_opt.add_argument("-o", "--output", help="write the result (BLIF, or .v Verilog)")
+    p_opt.add_argument("--db", help="path to an alternative NPN database")
+
+    p_map = sub.add_parser("map", help="optimize then technology-map")
+    _add_input_args(p_map)
+    p_map.add_argument("--variant", default=None, choices=VARIANTS,
+                       help="functional hashing variant (default: map unoptimized)")
+    p_map.add_argument("--db", help="path to an alternative NPN database")
+
+    p_flow = sub.add_parser("flow", help="run a scripted optimization flow")
+    _add_input_args(p_flow)
+    p_flow.add_argument(
+        "--script", default="depth,BF,TFD",
+        help="comma-separated steps (variants, depth, depth-fast, strash, fraig)",
+    )
+    p_flow.add_argument("--verify", action="store_true")
+    p_flow.add_argument("-o", "--output", help="write the result (BLIF/.v/.bench)")
+    p_flow.add_argument("--db", help="path to an alternative NPN database")
+
+    p_exact = sub.add_parser("exact", help="exact synthesis of a truth table")
+    p_exact.add_argument("--tt", required=True, help="truth table, e.g. 0x1668")
+    p_exact.add_argument("--vars", type=int, default=4)
+    p_exact.add_argument("--budget", type=int, default=200000,
+                         help="conflict budget per size")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "stats":
+        mig = _load_network(args)
+        print(f"{mig.name}: {mig.num_pis} PIs, {mig.num_pos} POs, "
+              f"size {mig.num_gates}, depth {mig.depth()}")
+        return 0
+
+    if args.command == "optimize":
+        mig = _load_network(args)
+        db = NpnDatabase.load(args.db)
+        baseline = optimize_depth(mig) if args.depth_opt else mig
+        start = time.perf_counter()
+        optimized = functional_hashing(baseline, db, args.variant)
+        runtime = time.perf_counter() - start
+        print(f"{mig.name}: {baseline.num_gates}/{baseline.depth()} -> "
+              f"{optimized.num_gates}/{optimized.depth()} "
+              f"({args.variant}, {runtime:.2f}s)")
+        if args.verify:
+            ok = check_equivalence(baseline, optimized)
+            print(f"equivalence: {'OK' if ok else 'FAILED'}")
+            if not ok:
+                return 1
+        if args.output:
+            _write_network(optimized, args.output)
+            print(f"written to {args.output}")
+        return 0
+
+    if args.command == "map":
+        mig = _load_network(args)
+        db = NpnDatabase.load(args.db)
+        if args.variant is not None:
+            mig = functional_hashing(mig, db, args.variant)
+        result = map_mig(mig)
+        print(f"{mig.name}: mapped {result}")
+        return 0
+
+    if args.command == "flow":
+        from .opt.flow import run_flow
+
+        mig = _load_network(args)
+        db = NpnDatabase.load(args.db)
+        script = [step for step in args.script.split(",") if step]
+        print(f"{mig.name}: {mig.num_gates}/{mig.depth()}  script: {script}")
+        result, history = run_flow(mig, db, script, verbose=True)
+        print(f"final: {result.num_gates}/{result.depth()} "
+              f"({sum(step.runtime for step in history):.2f}s total)")
+        if args.verify:
+            ok = check_equivalence(mig, result)
+            print(f"equivalence: {'OK' if ok else 'FAILED'}")
+            if not ok:
+                return 1
+        if args.output:
+            _write_network(result, args.output)
+            print(f"written to {args.output}")
+        return 0
+
+    if args.command == "exact":
+        spec = int(args.tt, 16)
+        result = synthesize_exact(spec, args.vars, conflict_budget=args.budget)
+        if result.mig is None:
+            print(f"no MIG found within budget (outcomes: {result.k_outcomes})")
+            return 1
+        print(f"0x{spec:x}: size {result.size} "
+              f"({'proven minimal' if result.proven else 'upper bound'}), "
+              f"{result.runtime:.2f}s, {result.conflicts} conflicts")
+        print(result.mig.to_expression(result.mig.outputs[0]))
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""k-feasible cut enumeration for MIGs (Sec. II-C of the paper).
+
+A cut ``(v, L)`` of a node ``v`` is a set of leaves ``L`` such that every
+path from ``v`` to a non-terminal passes through a leaf, and every leaf
+lies on such a path.  Paths to the constant node are exempt.  Cuts are
+enumerated bottom-up with the saturating union ``⊗k`` of the paper::
+
+    cuts_k(0) = {{}}
+    cuts_k(x) = {{x}}                      for primary inputs x
+    cuts_k(g) = cuts_k(g1) ⊗k cuts_k(g2) ⊗k cuts_k(g3)
+
+As is standard in cut-based rewriting (and implicit in the paper's use of
+cuts as rewriting targets), the trivial cut ``{g}`` is additionally kept
+for every gate so that enclosing nodes can treat ``g`` itself as a leaf.
+
+Cuts are represented as sorted tuples of leaf node indices.  A 64-bit
+signature provides a quick lower bound on union cardinality, and dominated
+cuts (proper supersets of another cut of the same node) are pruned.  The
+``cut_limit`` parameter bounds the number of cuts stored per node
+(priority cuts, ref. [11] of the paper).
+"""
+
+from __future__ import annotations
+
+from .mig import Mig
+
+__all__ = ["enumerate_cuts", "cut_cone", "mffc_nodes", "mffc_size"]
+
+
+def _signature(leaves: tuple[int, ...]) -> int:
+    sig = 0
+    for leaf in leaves:
+        sig |= 1 << (leaf & 63)
+    return sig
+
+
+def _merge3(
+    set1: list[tuple[tuple[int, ...], int]],
+    set2: list[tuple[tuple[int, ...], int]],
+    set3: list[tuple[tuple[int, ...], int]],
+    k: int,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Saturating union ``⊗k`` over three cut sets, with domination pruning."""
+    result: dict[tuple[int, ...], int] = {}
+    for leaves1, sig1 in set1:
+        for leaves2, sig2 in set2:
+            sig12 = sig1 | sig2
+            if sig12.bit_count() > k:
+                continue
+            union12 = set(leaves1)
+            union12.update(leaves2)
+            if len(union12) > k:
+                continue
+            for leaves3, sig3 in set3:
+                sig = sig12 | sig3
+                if sig.bit_count() > k:
+                    continue
+                union = union12.union(leaves3)
+                if len(union) > k:
+                    continue
+                leaves = tuple(sorted(union))
+                result[leaves] = _signature(leaves)
+    return _prune_dominated(list(result.items()))
+
+
+def _prune_dominated(
+    cuts: list[tuple[tuple[int, ...], int]],
+) -> list[tuple[tuple[int, ...], int]]:
+    """Remove cuts that are proper supersets of another cut in the list."""
+    cuts.sort(key=lambda item: len(item[0]))
+    kept: list[tuple[tuple[int, ...], int]] = []
+    for leaves, sig in cuts:
+        leaf_set = set(leaves)
+        dominated = False
+        for other, other_sig in kept:
+            if other_sig & ~sig:
+                continue
+            if len(other) < len(leaves) and leaf_set.issuperset(other):
+                dominated = True
+                break
+        if not dominated:
+            kept.append((leaves, sig))
+    return kept
+
+
+def enumerate_cuts(
+    mig: Mig,
+    k: int = 4,
+    cut_limit: int = 25,
+    include_trivial: bool = True,
+) -> list[list[tuple[int, ...]]]:
+    """Enumerate k-feasible cuts of every node of *mig*.
+
+    Returns ``cuts`` with ``cuts[node]`` the list of leaf tuples of that
+    node, ordered by increasing leaf count.  The constant node has the
+    single empty cut; a PI has its singleton cut.
+    """
+    if k < 1:
+        raise ValueError("cut size k must be at least 1")
+    num_nodes = mig.num_nodes
+    work: list[list[tuple[tuple[int, ...], int]]] = [[] for _ in range(num_nodes)]
+    work[0] = [((), 0)]
+    for node in range(1, mig.num_pis + 1):
+        leaves = (node,)
+        work[node] = [(leaves, _signature(leaves))]
+    for node in mig.gates():
+        a, b, c = mig.fanins(node)
+        merged = _merge3(work[a >> 1], work[b >> 1], work[c >> 1], k)
+        if len(merged) > cut_limit:
+            merged = merged[:cut_limit]
+        if include_trivial:
+            trivial = (node,)
+            merged.append((trivial, _signature(trivial)))
+        work[node] = merged
+    return [[leaves for leaves, _ in cuts] for cuts in work]
+
+
+def cut_cone(mig: Mig, root: int, leaves: tuple[int, ...]) -> list[int]:
+    """Return the internal nodes of cut ``(root, leaves)`` in topological order.
+
+    Internal nodes are the gates strictly inside the cut, *including* the
+    root itself.  Raises ``ValueError`` when a non-constant terminal is
+    reached that is not a leaf (i.e. ``leaves`` is not a valid cut).
+    """
+    leaf_set = set(leaves)
+    visited: set[int] = set()
+    order: list[int] = []
+
+    def visit(node: int) -> None:
+        if node in leaf_set or node == 0 or node in visited:
+            return
+        if not mig.is_gate(node):
+            raise ValueError(f"node {node} is a terminal outside the cut leaves")
+        visited.add(node)
+        for s in mig.fanins(node):
+            visit(s >> 1)
+        order.append(node)
+
+    visit(root)
+    return order
+
+
+def mffc_nodes(mig: Mig, root: int, fanout: list[int] | None = None) -> set[int]:
+    """Maximum fanout-free cone of *root*: gates that die if *root* dies.
+
+    A gate belongs to the MFFC if all of its fanout paths lead into the
+    cone.  Computed by simulated reference-count dereferencing.
+    """
+    if fanout is None:
+        fanout = mig.fanout_counts()
+    refs = list(fanout)
+    cone: set[int] = set()
+
+    def deref(node: int) -> None:
+        if not mig.is_gate(node):
+            return
+        cone.add(node)
+        for s in mig.fanins(node):
+            child = s >> 1
+            refs[child] -= 1
+            if refs[child] == 0:
+                deref(child)
+
+    deref(root)
+    return cone
+
+
+def mffc_size(mig: Mig, root: int, fanout: list[int] | None = None) -> int:
+    """Number of gates in the MFFC of *root*."""
+    return len(mffc_nodes(mig, root, fanout))

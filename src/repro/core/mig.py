@@ -1,0 +1,449 @@
+"""The Majority-Inverter Graph data structure (Sec. II-B of the paper).
+
+An MIG is a DAG whose non-terminal nodes all compute the ternary majority
+function and whose edges carry optional complementation.  This module
+follows the conventions of modern logic-network packages:
+
+* **Nodes** are integers.  Node ``0`` is the constant-0 terminal, nodes
+  ``1 .. num_pis`` are primary inputs, and gate nodes follow in strict
+  topological order (every gate has a larger index than its fanins).
+* **Signals** (a.k.a. literals) encode a node plus an optional inverter:
+  ``signal = 2 * node + complement``.  Signal ``0`` is constant 0 and
+  signal ``1`` is constant 1.
+
+Gates are created through :meth:`Mig.maj`, which performs the unit
+simplifications ``<aab> = a`` and ``<a a' b> = b``, canonically sorts the
+fanin triple, normalizes inverters through the self-duality
+``<a'b'c'> = <abc>'`` and structurally hashes the result, so that two
+calls with functionally identical triples return the same signal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .truth_table import tt_maj, tt_mask, tt_var
+
+__all__ = [
+    "Mig",
+    "signal_not",
+    "signal_node",
+    "signal_is_complemented",
+    "make_signal",
+    "CONST0",
+    "CONST1",
+]
+
+#: Signal constants for the Boolean constants.
+CONST0 = 0
+CONST1 = 1
+
+
+def make_signal(node: int, complement: bool = False) -> int:
+    """Build a signal from a node index and a complement flag."""
+    return (node << 1) | int(complement)
+
+
+def signal_not(signal: int) -> int:
+    """Return the complement of a signal."""
+    return signal ^ 1
+
+
+def signal_node(signal: int) -> int:
+    """Return the node index a signal points to."""
+    return signal >> 1
+
+
+def signal_is_complemented(signal: int) -> bool:
+    """Return True if the signal carries an inverter."""
+    return bool(signal & 1)
+
+
+class Mig:
+    """A Majority-Inverter Graph.
+
+    >>> mig = Mig(3, name="full_adder")
+    >>> a, b, cin = mig.pi_signals()
+    >>> cout = mig.maj(a, b, cin)
+    >>> s = mig.maj(signal_not(cout), mig.maj(a, b, signal_not(cin)), cin)
+    >>> mig.add_po(s, "s"); mig.add_po(cout, "cout")
+    >>> mig.num_gates, mig.depth()
+    (3, 2)
+    """
+
+    def __init__(self, num_pis: int = 0, name: str = "mig") -> None:
+        self.name = name
+        # _fanins[node] is None for terminals, else the sorted signal triple.
+        self._fanins: list[tuple[int, int, int] | None] = [None]
+        self._pi_names: list[str] = []
+        self._outputs: list[int] = []
+        self._output_names: list[str] = []
+        self._strash: dict[tuple[int, int, int], int] = {}
+        for _ in range(num_pis):
+            self.add_pi()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def like(cls, other: "Mig") -> "Mig":
+        """Create an empty MIG with the same primary inputs (and names) as *other*."""
+        new = cls(name=other.name)
+        for name in other.pi_names:
+            new.add_pi(name)
+        return new
+
+    def add_pi(self, name: str | None = None) -> int:
+        """Add a primary input; returns its (positive) signal.
+
+        PIs must be created before any gate so node indices stay
+        topologically ordered.
+        """
+        if self.num_gates:
+            raise ValueError("all primary inputs must be created before the first gate")
+        node = len(self._fanins)
+        self._fanins.append(None)
+        self._pi_names.append(name if name is not None else f"x{node - 1}")
+        return make_signal(node)
+
+    def pi_signals(self) -> list[int]:
+        """Return the signals of all primary inputs, in creation order."""
+        return [make_signal(1 + i) for i in range(self.num_pis)]
+
+    def maj(self, a: int, b: int, c: int) -> int:
+        """Create (or reuse) the majority gate ``<abc>`` and return its signal."""
+        for s in (a, b, c):
+            if signal_node(s) >= len(self._fanins):
+                raise ValueError(f"signal {s} refers to an unknown node")
+        # Unit rules.
+        if a == b or a == c:
+            return a
+        if b == c:
+            return b
+        if a == signal_not(b) or a == signal_not(c):
+            # <a a' c> = c ; third operand is whichever is not the pair.
+            return c if a == signal_not(b) else b
+        if b == signal_not(c):
+            return a
+        fanin = tuple(sorted((a, b, c)))
+        # Self-duality normalization: store with at most one complemented
+        # fanin among {>=2 complemented}; flip all three plus output.
+        out_complement = False
+        if sum(s & 1 for s in fanin) >= 2:
+            fanin = tuple(sorted(signal_not(s) for s in fanin))
+            out_complement = True
+        node = self._strash.get(fanin)
+        if node is None:
+            node = len(self._fanins)
+            self._fanins.append(fanin)  # type: ignore[arg-type]
+            self._strash[fanin] = node
+        return make_signal(node, out_complement)
+
+    def and_(self, a: int, b: int) -> int:
+        """Conjunction via ``<0ab>``."""
+        return self.maj(CONST0, a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        """Disjunction via ``<1ab>``."""
+        return self.maj(CONST1, a, b)
+
+    def xor(self, a: int, b: int) -> int:
+        """Exclusive-or built from three majority gates."""
+        both = self.and_(a, b)
+        either = self.or_(a, b)
+        return self.and_(either, signal_not(both))
+
+    def xnor(self, a: int, b: int) -> int:
+        """Exclusive-nor."""
+        return signal_not(self.xor(a, b))
+
+    def ite(self, c: int, t: int, e: int) -> int:
+        """Multiplexer ``c ? t : e`` built from majority gates."""
+        return self.or_(self.and_(c, t), self.and_(signal_not(c), e))
+
+    def add_po(self, signal: int, name: str | None = None) -> None:
+        """Register a primary output pointing at *signal*."""
+        if signal_node(signal) >= len(self._fanins):
+            raise ValueError(f"signal {signal} refers to an unknown node")
+        self._outputs.append(signal)
+        self._output_names.append(name if name is not None else f"y{len(self._outputs) - 1}")
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pi_names)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._outputs)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including constant and PIs."""
+        return len(self._fanins)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of majority gates — the *size* metric of the paper."""
+        return len(self._fanins) - 1 - self.num_pis
+
+    @property
+    def size(self) -> int:
+        """Alias for :attr:`num_gates` matching the paper's terminology."""
+        return self.num_gates
+
+    @property
+    def outputs(self) -> tuple[int, ...]:
+        """The output signals."""
+        return tuple(self._outputs)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        """The output names."""
+        return tuple(self._output_names)
+
+    @property
+    def pi_names(self) -> tuple[str, ...]:
+        """The primary-input names."""
+        return tuple(self._pi_names)
+
+    def is_constant(self, node: int) -> bool:
+        """True for the constant-0 node."""
+        return node == 0
+
+    def is_pi(self, node: int) -> bool:
+        """True for primary-input nodes."""
+        return 1 <= node <= self.num_pis
+
+    def is_gate(self, node: int) -> bool:
+        """True for majority-gate nodes."""
+        return node > self.num_pis and node < len(self._fanins)
+
+    def fanins(self, node: int) -> tuple[int, int, int]:
+        """Return the three fanin signals of a gate node."""
+        fanin = self._fanins[node]
+        if fanin is None:
+            raise ValueError(f"node {node} is a terminal and has no fanins")
+        return fanin
+
+    def gates(self) -> Iterator[int]:
+        """Iterate gate nodes in topological order."""
+        return iter(range(self.num_pis + 1, len(self._fanins)))
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate all nodes (constant, PIs, gates) in topological order."""
+        return iter(range(len(self._fanins)))
+
+    def fanout_counts(self) -> list[int]:
+        """Return, per node, how many gate fanins plus outputs reference it."""
+        counts = [0] * len(self._fanins)
+        for node in self.gates():
+            for s in self.fanins(node):
+                counts[signal_node(s)] += 1
+        for s in self._outputs:
+            counts[signal_node(s)] += 1
+        return counts
+
+    def levels(self) -> list[int]:
+        """Return per-node depth (terminals at level 0)."""
+        level = [0] * len(self._fanins)
+        for node in self.gates():
+            level[node] = 1 + max(level[signal_node(s)] for s in self.fanins(node))
+        return level
+
+    def depth(self) -> int:
+        """Return the depth of the MIG — longest terminal→output gate path."""
+        if not self._outputs:
+            return 0
+        level = self.levels()
+        return max(level[signal_node(s)] for s in self._outputs)
+
+    # ------------------------------------------------------------------
+    # functional evaluation
+    # ------------------------------------------------------------------
+
+    def simulate(self) -> list[int]:
+        """Exhaustively simulate; returns one truth table per output.
+
+        Only feasible for small input counts (``num_pis <= 16``).
+        """
+        if self.num_pis > 16:
+            raise ValueError("exhaustive simulation limited to 16 inputs; use simulate_patterns")
+        n = self.num_pis
+        values = [0] * len(self._fanins)
+        for i in range(n):
+            values[1 + i] = tt_var(n, i)
+        mask = tt_mask(n)
+        return self._simulate_words(values, mask)
+
+    def simulate_patterns(self, patterns: Sequence[int], width: int) -> list[int]:
+        """Bit-parallel simulation of arbitrary input patterns.
+
+        *patterns* holds one word per PI; bit ``k`` of each word forms the
+        k-th test vector.  Returns one word per output.
+        """
+        if len(patterns) != self.num_pis:
+            raise ValueError(f"expected {self.num_pis} pattern words, got {len(patterns)}")
+        values = [0] * len(self._fanins)
+        for i, word in enumerate(patterns):
+            values[1 + i] = word
+        mask = (1 << width) - 1
+        return self._simulate_words(values, mask)
+
+    def _simulate_words(self, values: list[int], mask: int) -> list[int]:
+        for node in self.gates():
+            a, b, c = self.fanins(node)
+            va = values[a >> 1] ^ (mask if a & 1 else 0)
+            vb = values[b >> 1] ^ (mask if b & 1 else 0)
+            vc = values[c >> 1] ^ (mask if c & 1 else 0)
+            values[node] = tt_maj(va, vb, vc)
+        out = []
+        for s in self._outputs:
+            v = values[s >> 1] ^ (mask if s & 1 else 0)
+            out.append(v)
+        return out
+
+    def cut_function(self, root: int, leaves: Sequence[int]) -> int:
+        """Return the local function of *root* expressed over *leaves*.
+
+        *leaves* are node indices; leaf ``j`` becomes variable ``x_j`` of
+        the returned truth table.  Raises ``ValueError`` if the cone of
+        *root* is not covered by the leaves (the constant node is always
+        allowed, mirroring the cut definition in Sec. II-C).
+        """
+        k = len(leaves)
+        values: dict[int, int] = {0: 0}
+        for j, leaf in enumerate(leaves):
+            values[leaf] = tt_var(k, j)
+        mask = tt_mask(k)
+
+        def eval_node(node: int) -> int:
+            cached = values.get(node)
+            if cached is not None:
+                return cached
+            if not self.is_gate(node):
+                raise ValueError(f"terminal node {node} reached but is not a cut leaf")
+            a, b, c = self.fanins(node)
+            va = eval_node(a >> 1) ^ (mask if a & 1 else 0)
+            vb = eval_node(b >> 1) ^ (mask if b & 1 else 0)
+            vc = eval_node(c >> 1) ^ (mask if c & 1 else 0)
+            result = tt_maj(va, vb, vc)
+            values[node] = result
+            return result
+
+        # Iterative-friendly: Python recursion depth is fine for 4-cuts but
+        # cut cones can be deep in principle; raise the limit locally.
+        return eval_node(root)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def cleanup(self) -> "Mig":
+        """Return a copy with dead gates removed (reachable cone only)."""
+        new = Mig(self.num_pis, name=self.name)
+        new._pi_names = list(self._pi_names)
+        mapping: dict[int, int] = {0: 0}
+        for i in range(1, self.num_pis + 1):
+            mapping[i] = make_signal(i)
+
+        order = self._reachable_gates()
+        for node in order:
+            a, b, c = self.fanins(node)
+            na = mapping[a >> 1] ^ (a & 1)
+            nb = mapping[b >> 1] ^ (b & 1)
+            nc = mapping[c >> 1] ^ (c & 1)
+            mapping[node] = new.maj(na, nb, nc)
+        for s, name in zip(self._outputs, self._output_names):
+            new.add_po(mapping[s >> 1] ^ (s & 1), name)
+        return new
+
+    def _reachable_gates(self) -> list[int]:
+        """Gate nodes reachable from the outputs, in topological order."""
+        reachable = bytearray(len(self._fanins))
+        stack = [signal_node(s) for s in self._outputs]
+        while stack:
+            node = stack.pop()
+            if reachable[node] or not self.is_gate(node):
+                continue
+            reachable[node] = 1
+            stack.extend(s >> 1 for s in self.fanins(node))
+        return [node for node in self.gates() if reachable[node]]
+
+    def clone(self) -> "Mig":
+        """Return a deep copy."""
+        new = Mig(name=self.name)
+        new._fanins = list(self._fanins)
+        new._pi_names = list(self._pi_names)
+        new._outputs = list(self._outputs)
+        new._output_names = list(self._output_names)
+        new._strash = dict(self._strash)
+        return new
+
+    def rebuild(
+        self,
+        gate_builder: Callable[["Mig", int, tuple[int, int, int], dict[int, int]], int]
+        | None = None,
+    ) -> "Mig":
+        """Rebuild the MIG gate by gate into a fresh network.
+
+        *gate_builder* receives ``(new_mig, old_node, mapped_fanins,
+        mapping)`` and must return the signal implementing the old node in
+        the new network; by default gates are copied verbatim.  Useful as
+        the chassis for rewriting passes.
+        """
+        new = Mig(self.num_pis, name=self.name)
+        new._pi_names = list(self._pi_names)
+        mapping: dict[int, int] = {0: 0}
+        for i in range(1, self.num_pis + 1):
+            mapping[i] = make_signal(i)
+        for node in self._reachable_gates():
+            a, b, c = self.fanins(node)
+            mapped = (
+                mapping[a >> 1] ^ (a & 1),
+                mapping[b >> 1] ^ (b & 1),
+                mapping[c >> 1] ^ (c & 1),
+            )
+            if gate_builder is None:
+                mapping[node] = new.maj(*mapped)
+            else:
+                mapping[node] = gate_builder(new, node, mapped, mapping)
+        for s, name in zip(self._outputs, self._output_names):
+            new.add_po(mapping[s >> 1] ^ (s & 1), name)
+        return new
+
+    # ------------------------------------------------------------------
+    # pretty printing
+    # ------------------------------------------------------------------
+
+    def signal_name(self, signal: int) -> str:
+        """Human-readable name of a signal (``!`` prefix for inverters)."""
+        node = signal_node(signal)
+        if node == 0:
+            base = "0"
+        elif self.is_pi(node):
+            base = self._pi_names[node - 1]
+        else:
+            base = f"n{node}"
+        return ("!" if signal & 1 else "") + base
+
+    def to_expression(self, signal: int) -> str:
+        """Render the cone of *signal* as a nested ``<abc>`` expression."""
+        node = signal_node(signal)
+        if not self.is_gate(node):
+            return self.signal_name(signal)
+        a, b, c = self.fanins(node)
+        inner = f"<{self.to_expression(a)}{self.to_expression(b)}{self.to_expression(c)}>"
+        return ("!" if signal & 1 else "") + inner
+
+    def __repr__(self) -> str:
+        return (
+            f"Mig(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"gates={self.num_gates})"
+        )

@@ -1,0 +1,209 @@
+"""NPN classification of Boolean functions (Sec. II-D of the paper).
+
+Two functions are NPN-equivalent if one can be obtained from the other by
+Negating inputs, Permuting inputs, and/or Negating the output.  As in the
+paper, the representative of each class is the function with the smallest
+truth table viewed as a ``2**n``-bit binary number.
+
+The central entry point is :func:`npn_canonize` which returns the class
+representative together with the :class:`NPNTransform` that rebuilds the
+original function *from* the representative — exactly the information the
+functional-hashing rewriter needs to instantiate a precomputed minimum MIG
+in place of a cut (Sec. IV, Algorithm 1 line 6).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+from typing import NamedTuple
+
+from .truth_table import tt_mask
+
+__all__ = [
+    "NPNTransform",
+    "apply_transform",
+    "invert_transform",
+    "compose_transforms",
+    "identity_transform",
+    "npn_canonize",
+    "npn_representative",
+    "enumerate_npn_classes",
+    "npn_class_sizes",
+]
+
+
+class NPNTransform(NamedTuple):
+    """An NPN transform ``t`` mapping a function ``r`` to ``t(r)``.
+
+    Semantics (checked by property tests): ``g = apply_transform(r, t, n)``
+    satisfies::
+
+        g(x_0, ..., x_{n-1}) = r(y_0, ..., y_{n-1}) ^ output_flip
+        with  y_j = x_{perm[j]} ^ ((flips >> j) & 1)
+
+    i.e. input ``j`` of ``r`` is driven by variable ``x_{perm[j]}``,
+    complemented when bit ``j`` of ``flips`` is set.
+    """
+
+    perm: tuple[int, ...]
+    flips: int
+    output_flip: bool
+
+
+def identity_transform(num_vars: int) -> NPNTransform:
+    """Return the identity transform over *num_vars* variables."""
+    return NPNTransform(tuple(range(num_vars)), 0, False)
+
+
+@lru_cache(maxsize=8)
+def _remap_tables(num_vars: int) -> dict[tuple[tuple[int, ...], int], tuple[int, ...]]:
+    """Minterm remap tables for every (perm, flips) pair.
+
+    ``table[m]`` is the source minterm of the base function whose value
+    lands on output minterm ``m`` after the transform.
+    """
+    tables: dict[tuple[tuple[int, ...], int], tuple[int, ...]] = {}
+    size = 1 << num_vars
+    for perm in permutations(range(num_vars)):
+        for flips in range(size if num_vars else 1):
+            table = []
+            for m in range(size):
+                mp = 0
+                for j in range(num_vars):
+                    bit = ((m >> perm[j]) & 1) ^ ((flips >> j) & 1)
+                    mp |= bit << j
+                table.append(mp)
+            tables[(perm, flips)] = tuple(table)
+    return tables
+
+
+def apply_transform(f: int, t: NPNTransform, num_vars: int) -> int:
+    """Apply NPN transform *t* to truth table *f* (see :class:`NPNTransform`)."""
+    table = _remap_tables(num_vars)[(t.perm, t.flips)]
+    g = 0
+    for m, mp in enumerate(table):
+        if (f >> mp) & 1:
+            g |= 1 << m
+    if t.output_flip:
+        g ^= tt_mask(num_vars)
+    return g
+
+
+def invert_transform(t: NPNTransform) -> NPNTransform:
+    """Return the inverse transform: ``apply(apply(f, t), invert(t)) == f``."""
+    n = len(t.perm)
+    inv_perm = [0] * n
+    inv_flips = 0
+    for j, target in enumerate(t.perm):
+        inv_perm[target] = j
+    for i in range(n):
+        j = inv_perm[i]
+        if (t.flips >> j) & 1:
+            inv_flips |= 1 << i
+    return NPNTransform(tuple(inv_perm), inv_flips, t.output_flip)
+
+
+def compose_transforms(outer: NPNTransform, inner: NPNTransform) -> NPNTransform:
+    """Return the transform equivalent to applying *inner* then *outer*.
+
+    ``apply(f, compose(outer, inner)) == apply(apply(f, inner), outer)``.
+    """
+    n = len(outer.perm)
+    perm = []
+    flips = 0
+    for j in range(n):
+        # Output var of the composite driving input j of the base function:
+        # outer feeds inner's input j with x_{outer-chain}.
+        k = inner.perm[j]
+        perm.append(outer.perm[k])
+        bit = ((inner.flips >> j) & 1) ^ ((outer.flips >> k) & 1)
+        flips |= bit << j
+    return NPNTransform(tuple(perm), flips, outer.output_flip ^ inner.output_flip)
+
+
+@lru_cache(maxsize=1 << 18)
+def _canonize_cached(f: int, num_vars: int) -> tuple[int, NPNTransform]:
+    tables = _remap_tables(num_vars)
+    best = None
+    best_key = None
+    for key, table in tables.items():
+        g = 0
+        for m, mp in enumerate(table):
+            if (f >> mp) & 1:
+                g |= 1 << m
+        for out_flip in (False, True):
+            cand = g ^ tt_mask(num_vars) if out_flip else g
+            if best is None or cand < best:
+                best = cand
+                best_key = (key[0], key[1], out_flip)
+    assert best is not None and best_key is not None
+    forward = NPNTransform(best_key[0], best_key[1], best_key[2])
+    # forward maps f -> representative; the caller wants rep -> f.
+    return best, invert_transform(forward)
+
+
+def npn_canonize(f: int, num_vars: int) -> tuple[int, NPNTransform]:
+    """Canonize *f* under NPN equivalence.
+
+    Returns ``(rep, t)`` where ``rep`` is the smallest truth table in the
+    NPN orbit of *f* and ``t`` rebuilds *f* from it:
+    ``apply_transform(rep, t, num_vars) == f``.
+    """
+    if f < 0 or f > tt_mask(num_vars):
+        raise ValueError(f"truth table 0x{f:x} out of range for {num_vars} variables")
+    return _canonize_cached(f, num_vars)
+
+
+def npn_representative(f: int, num_vars: int) -> int:
+    """Return only the NPN class representative of *f*."""
+    return npn_canonize(f, num_vars)[0]
+
+
+@lru_cache(maxsize=8)
+def enumerate_npn_classes(num_vars: int) -> tuple[int, ...]:
+    """Enumerate the representatives of all NPN classes over *num_vars* variables.
+
+    For ``num_vars = 4`` this yields the 222 classes of the paper
+    (Sec. II-D).  Feasible up to ``num_vars = 4``; 5 variables would give
+    616 126 classes, which the paper also notes is impractical.
+    """
+    if num_vars > 4:
+        raise ValueError("exhaustive NPN enumeration is only supported up to 4 variables")
+    tables = _remap_tables(num_vars)
+    size = 1 << (1 << num_vars)
+    mask = tt_mask(num_vars)
+    seen = bytearray(size)
+    reps = []
+    for f in range(size):
+        if seen[f]:
+            continue
+        reps.append(f)
+        for table in tables.values():
+            g = 0
+            for m, mp in enumerate(table):
+                if (f >> mp) & 1:
+                    g |= 1 << m
+            seen[g] = 1
+            seen[g ^ mask] = 1
+    return tuple(reps)
+
+
+def npn_class_sizes(num_vars: int) -> dict[int, int]:
+    """Return a map representative → number of functions in its class."""
+    if num_vars > 4:
+        raise ValueError("exhaustive NPN enumeration is only supported up to 4 variables")
+    tables = _remap_tables(num_vars)
+    mask = tt_mask(num_vars)
+    sizes: dict[int, int] = {}
+    for rep in enumerate_npn_classes(num_vars):
+        orbit = set()
+        for table in tables.values():
+            g = 0
+            for m, mp in enumerate(table):
+                if (rep >> mp) & 1:
+                    g |= 1 << m
+            orbit.add(g)
+            orbit.add(g ^ mask)
+        sizes[rep] = len(orbit)
+    return sizes

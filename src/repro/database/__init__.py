@@ -1,0 +1,6 @@
+"""Precomputed minimum-MIG database for 4-input NPN classes (Sec. IV)."""
+
+from .npn_db import DbEntry, NpnDatabase
+from .generate import generate_tree_database, improve_with_sat
+
+__all__ = ["DbEntry", "NpnDatabase", "generate_tree_database", "improve_with_sat"]

@@ -1,0 +1,231 @@
+"""NPN-4 database generation driver (DESIGN.md §6).
+
+Two phases:
+
+1. **Tree phase** — the L(f) dynamic program plus witness extraction
+   yields an optimal-length expression MIG for each of the 222 class
+   representatives.  This is complete in under a minute and already
+   near-optimal (``L(f) <= C(f) + 2``).
+2. **SAT phase** — exact synthesis (Sec. III of the paper) improves and
+   certifies entries: ascending UNSAT proofs from ``k = 1`` establish
+   lower bounds; descending SAT searches from the current upper bound
+   shrink entries.  An entry becomes ``proven`` when the sizes meet.
+   Every call runs under a conflict budget; progress is checkpointed to
+   the JSONL file after every class so partial runs are always usable.
+
+Run as a module::
+
+    python -m repro.database.generate --out src/repro/database/data/npn4.jsonl \
+        --sat-seconds 3600 --budget 30000
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from ..core.npn import enumerate_npn_classes
+from ..exact.encoding import encode_exact_mig
+from ..exact.trees import TreeSynthesizer
+from .npn_db import DbEntry, NpnDatabase
+
+__all__ = ["generate_tree_database", "improve_with_sat", "main"]
+
+
+def generate_tree_database(num_vars: int = 4, verbose: bool = False) -> NpnDatabase:
+    """Phase 1: build the complete database from L-optimal trees."""
+    synth = TreeSynthesizer(num_vars)
+    entries = []
+    for rep in enumerate_npn_classes(num_vars):
+        start = time.perf_counter()
+        mig = synth.synthesize(rep)
+        if mig.simulate()[0] != rep:
+            raise AssertionError(f"tree synthesis produced wrong function for 0x{rep:x}")
+        entry = DbEntry.from_mig(
+            rep, mig, proven=False, generation_time=time.perf_counter() - start
+        )
+        # Trees of length 0 and 1 are trivially minimum.
+        if entry.size <= 1:
+            entry = replace(entry, proven=True)
+        entries.append(entry)
+        if verbose:
+            print(f"tree 0x{rep:04x}: size {entry.size} (L={synth.length_of(rep)})")
+    return NpnDatabase(entries, num_vars)
+
+
+def _solve_size(
+    spec: int, num_vars: int, k: int, budget: int | None
+) -> tuple[bool | None, DbEntry | None, int]:
+    """One exact-synthesis decision; returns (answer, entry-if-SAT, conflicts)."""
+    encoding = encode_exact_mig(spec, num_vars, k)
+    answer = encoding.solve_cegar(conflict_budget=budget)
+    conflicts = encoding.builder.solver.conflicts
+    if answer is True:
+        mig = encoding.extract_mig()
+        if mig.simulate()[0] != spec:
+            raise AssertionError(f"extracted MIG wrong for 0x{spec:x} at k={k}")
+        return True, DbEntry.from_mig(spec, mig, proven=False, conflicts=conflicts), conflicts
+    return answer, None, conflicts
+
+
+def improve_with_sat(
+    db: NpnDatabase,
+    budget: int = 30000,
+    time_limit: float | None = None,
+    out_path: str | Path | None = None,
+    verbose: bool = False,
+    largest_first: bool = False,
+) -> dict[str, int]:
+    """Phase 2: improve/certify database entries by exact synthesis.
+
+    Processes classes in increasing current-size order (cheapest proofs
+    first) by default; ``largest_first`` reverses it, prioritizing size
+    *reduction* of the biggest entries over minimality proofs.
+    Returns statistics: how many entries were improved and proven.
+    """
+    deadline = None if time_limit is None else time.monotonic() + time_limit
+    stats = {"visited": 0, "improved": 0, "proven": 0}
+    order = sorted(
+        db.entries,
+        key=lambda rep: (db.entries[rep].size, rep),
+        reverse=largest_first,
+    )
+    for rep in order:
+        entry = db.entries[rep]
+        if entry.proven:
+            continue
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        stats["visited"] += 1
+        start = time.perf_counter()
+        total_conflicts = 0
+        best = entry
+        refuted_below = 0  # all sizes <= refuted_below are impossible
+        # Ascending UNSAT proofs (k = 0 is impossible: trees of size >= 1
+        # exist only for non-trivial reps; size-0 entries are proven above).
+        k = 1
+        exhausted = False
+        unknown_at: int | None = None
+        while k < best.size:
+            if deadline is not None and time.monotonic() > deadline:
+                exhausted = True
+                break
+            answer, found, conflicts = _solve_size(rep, db.num_vars, k, budget)
+            total_conflicts += conflicts
+            if answer is False:
+                refuted_below = k
+                k += 1
+                continue
+            if answer is True:
+                assert found is not None
+                best = found
+                break
+            exhausted = True
+            unknown_at = k  # deterministic solver: don't retry this size
+            break
+        # Descending SAT improvements when the ascent stalled.
+        if exhausted:
+            k2 = best.size - 1
+            while k2 > refuted_below:
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                if k2 == unknown_at:
+                    k2 -= 1
+                    continue
+                answer, found, conflicts = _solve_size(rep, db.num_vars, k2, budget)
+                total_conflicts += conflicts
+                if answer is True and found is not None:
+                    best = found
+                k2 -= 1
+        proven = best.size == refuted_below + 1 or best.size == 0
+        elapsed = time.perf_counter() - start
+        new_entry = DbEntry(
+            rep=rep,
+            num_vars=best.num_vars,
+            size=best.size,
+            depth=best.depth,
+            proven=proven,
+            gates=best.gates,
+            output=best.output,
+            generation_time=entry.generation_time + elapsed,
+            conflicts=total_conflicts,
+        )
+        if new_entry.size < entry.size:
+            stats["improved"] += 1
+        if proven:
+            stats["proven"] += 1
+        db.entries[rep] = new_entry
+        if out_path is not None:
+            db.save(out_path)
+        if verbose:
+            print(
+                f"sat 0x{rep:04x}: size {entry.size} -> {new_entry.size} "
+                f"proven={proven} ({elapsed:.1f}s, {total_conflicts} conflicts)"
+            )
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Generate the NPN-4 MIG database")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).parent / "data" / "npn4.jsonl"),
+        help="output JSONL path",
+    )
+    parser.add_argument("--budget", type=int, default=30000, help="conflicts per SAT call")
+    parser.add_argument(
+        "--sat-seconds", type=float, default=0.0,
+        help="time for the SAT improvement phase (0 = trees only)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="load the existing output file and continue the SAT phase",
+    )
+    parser.add_argument(
+        "--largest-first", action="store_true",
+        help="process the biggest entries first (prioritize size reduction)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    verbose = not args.quiet
+
+    if args.resume and out.exists():
+        db = NpnDatabase.load(out)
+        if verbose:
+            print(f"resumed {len(db)} entries from {out}")
+    else:
+        if verbose:
+            print("phase 1: L(f) dynamic program + witness trees ...")
+        db = generate_tree_database(verbose=False)
+        db.save(out)
+        if verbose:
+            print(f"tree database written: {len(db)} entries, "
+                  f"size histogram {db.size_histogram()}")
+
+    if args.sat_seconds > 0:
+        if verbose:
+            print(f"phase 2: SAT improvement for {args.sat_seconds:.0f}s ...")
+        stats = improve_with_sat(
+            db,
+            budget=args.budget,
+            time_limit=args.sat_seconds,
+            out_path=out,
+            verbose=verbose,
+            largest_first=args.largest_first,
+        )
+        if verbose:
+            print(f"sat phase: {stats}")
+            print(f"final histogram: {db.size_histogram()}")
+    db.verify()
+    db.save(out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

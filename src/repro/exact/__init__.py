@@ -1,0 +1,34 @@
+"""Exact and heuristic synthesis of minimum MIGs (Sec. III of the paper)."""
+
+from .encoding import ExactMigEncoding, encode_exact_mig
+from .synthesis import ExactSynthesizer, SynthesisResult, synthesize_exact
+from .heuristic import heuristic_mig, single_gate_functions
+from .trees import TreeSynthesizer
+from .complexity import (
+    cached_length_table,
+    compute_depth_by_class,
+    compute_length_table,
+    depth_distribution,
+    length_distribution,
+    tree_depth_feasible,
+)
+from .bounds import theorem2_bound, shannon_upper_bound_mig
+
+__all__ = [
+    "ExactMigEncoding",
+    "encode_exact_mig",
+    "ExactSynthesizer",
+    "SynthesisResult",
+    "synthesize_exact",
+    "heuristic_mig",
+    "single_gate_functions",
+    "TreeSynthesizer",
+    "cached_length_table",
+    "compute_length_table",
+    "length_distribution",
+    "depth_distribution",
+    "compute_depth_by_class",
+    "tree_depth_feasible",
+    "theorem2_bound",
+    "shannon_upper_bound_mig",
+]

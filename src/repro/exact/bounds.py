@@ -1,0 +1,68 @@
+"""The MIG size upper bound of Theorem 2.
+
+The paper proves ``C(n) <= 10 * (2**(n-4) - 1) + 7`` for ``n >= 4`` by
+induction: the base case is the exhaustively computed worst 4-variable
+cost (7 majority gates), and the step is Shannon's expansion written in
+majority form::
+
+    f = <1 <0 x' f_x'> <0 x f_x>>        (3 extra gates per variable)
+
+:func:`shannon_upper_bound_mig` implements exactly this construction, so
+the bound can be validated experimentally for ``n > 4``
+(``benchmarks/bench_theorem2.py``).
+"""
+
+from __future__ import annotations
+
+from ..core.mig import CONST0, CONST1, Mig, make_signal, signal_not
+from ..core.truth_table import tt_cofactor0, tt_cofactor1, tt_mask
+from ..database.npn_db import NpnDatabase
+
+__all__ = ["theorem2_bound", "shannon_upper_bound_mig"]
+
+
+def theorem2_bound(num_vars: int, base_cost: int = 7) -> int:
+    """The Theorem 2 bound ``10 * (2**(n-4) - 1) + 7`` for ``n >= 4``.
+
+    *base_cost* is the worst-case 4-variable MIG size; pass the maximum
+    size found in a (possibly unproven) database to get the corresponding
+    relaxed bound ``(base_cost + 3) * (2**(n-4) - 1) + base_cost``.
+    """
+    if num_vars < 4:
+        raise ValueError("Theorem 2 is stated for n >= 4")
+    return (base_cost + 3) * (2 ** (num_vars - 4) - 1) + base_cost
+
+
+def shannon_upper_bound_mig(spec: int, num_vars: int, db: NpnDatabase) -> Mig:
+    """Build an MIG for *spec* via the Theorem 2 Shannon construction.
+
+    Variables above the 4th are expanded one at a time with the 3-gate
+    majority form of Shannon's expansion; 4-variable leaves come from the
+    NPN database.  The resulting size respects
+    :func:`theorem2_bound` with ``base_cost`` the database maximum.
+    """
+    if num_vars < 4:
+        raise ValueError("use the database directly for n <= 4")
+    if spec < 0 or spec > tt_mask(num_vars):
+        raise ValueError(f"spec 0x{spec:x} out of range for {num_vars} variables")
+    mig = Mig(num_vars)
+
+    def build(tt: int, top_var: int) -> int:
+        """Implement *tt* over variables 0..top_var (inclusive)."""
+        if top_var < 4:
+            leaves = [make_signal(1 + i) for i in range(4)]
+            return db.rebuild(mig, tt & tt_mask(4), leaves)
+        f0 = tt_cofactor0(tt, top_var, top_var + 1) & tt_mask(top_var)
+        f1 = tt_cofactor1(tt, top_var, top_var + 1) & tt_mask(top_var)
+        x = make_signal(1 + top_var)
+        if f0 == f1:
+            return build(f0, top_var - 1)
+        low = build(f0, top_var - 1)
+        high = build(f1, top_var - 1)
+        # <1 <0 x' f0> <0 x f1>>
+        left = mig.maj(CONST0, signal_not(x), low)
+        right = mig.maj(CONST0, x, high)
+        return mig.maj(CONST1, left, right)
+
+    mig.add_po(build(spec, num_vars - 1), "f")
+    return mig.cleanup()

@@ -1,0 +1,124 @@
+"""Heuristic (upper-bound) MIG synthesis for small functions.
+
+Exact synthesis needs good upper bounds: they cap the ``k`` loop and serve
+as fall-backs when the SAT budget runs out (DESIGN.md §6).  This module
+builds a correct — not necessarily minimum — MIG for any function of up to
+6 variables using:
+
+* direct constructions for constants, literals and single-gate functions
+  (all majority gates over literals and constants are precomputed per n),
+* XOR decomposition ``f = x_i ^ g`` when the cofactors are complements,
+* Shannon expansion ``f = <x_i f1 0> | <x_i' f0 0>`` — the construction
+  behind the paper's Theorem 2 upper bound — on the best splitting
+  variable, with memoization and structural hashing providing sharing.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.mig import CONST0, CONST1, Mig, make_signal, signal_not
+from ..core.truth_table import (
+    tt_cofactor0,
+    tt_cofactor1,
+    tt_maj,
+    tt_mask,
+    tt_not,
+    tt_support,
+    tt_var,
+)
+
+__all__ = ["heuristic_mig", "single_gate_functions"]
+
+
+@lru_cache(maxsize=8)
+def single_gate_functions(num_vars: int) -> dict[int, tuple[int, int, int]]:
+    """All functions computable by one majority gate over literals/constants.
+
+    Returns a map truth table → operand triple, where operands are encoded
+    as MIG signals (``0``/``1`` constants, ``2*(1+i)+pol`` for inputs).
+    Covers AND/OR-like and MAJ-like functions — the 1-gate NPN classes of
+    Table I.
+    """
+    literals = [CONST0, CONST1]
+    values = {CONST0: 0, CONST1: tt_mask(num_vars)}
+    for i in range(num_vars):
+        pos = make_signal(1 + i)
+        literals.append(pos)
+        literals.append(signal_not(pos))
+        values[pos] = tt_var(num_vars, i)
+        values[signal_not(pos)] = tt_not(tt_var(num_vars, i), num_vars)
+    table: dict[int, tuple[int, int, int]] = {}
+    n = len(literals)
+    for ia in range(n):
+        for ib in range(ia + 1, n):
+            if literals[ib] >> 1 == literals[ia] >> 1:
+                continue
+            for ic in range(ib + 1, n):
+                if literals[ic] >> 1 in (literals[ia] >> 1, literals[ib] >> 1):
+                    continue
+                tt = tt_maj(values[literals[ia]], values[literals[ib]], values[literals[ic]])
+                table.setdefault(tt, (literals[ia], literals[ib], literals[ic]))
+    return table
+
+
+def heuristic_mig(spec: int, num_vars: int) -> Mig:
+    """Build a single-output MIG computing *spec* (an upper bound on size)."""
+    if spec < 0 or spec > tt_mask(num_vars):
+        raise ValueError(f"spec 0x{spec:x} out of range for {num_vars} variables")
+    mig = Mig(num_vars)
+    mask = tt_mask(num_vars)
+    one_gate = single_gate_functions(num_vars)
+    # memo: truth table -> signal in `mig`.
+    memo: dict[int, int] = {0: CONST0, mask: CONST1}
+    for i in range(num_vars):
+        var = tt_var(num_vars, i)
+        memo[var] = make_signal(1 + i)
+        memo[var ^ mask] = signal_not(make_signal(1 + i))
+
+    def build(tt: int) -> int:
+        cached = memo.get(tt)
+        if cached is not None:
+            return cached
+        inverse = memo.get(tt ^ mask)
+        if inverse is not None:
+            return signal_not(inverse)
+        signal = _build_uncached(tt)
+        memo[tt] = signal
+        return signal
+
+    def _build_uncached(tt: int) -> int:
+        gate = one_gate.get(tt)
+        if gate is not None:
+            return mig.maj(*gate)
+        gate = one_gate.get(tt ^ mask)
+        if gate is not None:
+            return signal_not(mig.maj(*gate))
+        # Choose the splitting variable whose cofactors look cheapest.
+        support = tt_support(tt, num_vars)
+        best = None
+        for i in support:
+            f0 = tt_cofactor0(tt, i, num_vars)
+            f1 = tt_cofactor1(tt, i, num_vars)
+            if f1 == f0 ^ mask:
+                score = -1  # XOR decomposition: strictly preferred
+            else:
+                known0 = f0 in memo or (f0 ^ mask) in memo or f0 in one_gate
+                known1 = f1 in memo or (f1 ^ mask) in memo or f1 in one_gate
+                score = (
+                    len(tt_support(f0, num_vars))
+                    + len(tt_support(f1, num_vars))
+                    - 2 * (known0 + known1)
+                )
+            if best is None or score < best[0]:
+                best = (score, i, f0, f1)
+        assert best is not None
+        _, i, f0, f1 = best
+        x = make_signal(1 + i)
+        if f1 == f0 ^ mask:
+            return mig.xor(x, build(f0))
+        # Shannon: f = (x & f1) | (!x & f0), three majority gates plus cones.
+        return mig.ite(x, build(f1), build(f0))
+
+    mig.add_po(build(spec), "f")
+    return mig.cleanup()

@@ -1,0 +1,177 @@
+"""Exact MIG synthesis driver (Sec. III of the paper).
+
+Finds a minimum-size MIG for a Boolean function by solving the decision
+problem "is there an MIG with k majority gates computing f?" for
+``k = 0, 1, 2, ...`` until the first satisfiable instance, as described in
+the paper.  The ``k = 0`` cases (constants and literals) are checked
+explicitly; larger ``k`` uses the CNF encoding of
+:mod:`repro.exact.encoding`.
+
+Because the substrate is a pure-Python CDCL solver rather than Z3, every
+``(f, k)`` instance runs under an optional conflict budget.  When the
+budget runs out the driver degrades gracefully: if a heuristic upper
+bound is available it is returned flagged ``proven=False``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.mig import Mig, make_signal, signal_not
+from ..core.truth_table import tt_mask, tt_var
+from .encoding import encode_exact_mig
+
+__all__ = ["SynthesisResult", "ExactSynthesizer", "synthesize_exact"]
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of an exact synthesis run.
+
+    ``proven`` is True when *size* is the provably minimum number of
+    majority gates (all smaller sizes refuted).  Otherwise the result is
+    the best known upper bound.
+    """
+
+    spec: int
+    num_vars: int
+    mig: Mig | None
+    size: int | None
+    proven: bool
+    runtime: float
+    conflicts: int
+    #: per-k outcome: "sat", "unsat", or "unknown" (budget exhausted)
+    k_outcomes: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        """True when some MIG (optimal or upper bound) was produced."""
+        return self.mig is not None
+
+
+def _trivial_mig(spec: int, num_vars: int) -> Mig | None:
+    """Return a 0-gate MIG if *spec* is a constant or (complemented) literal."""
+    mig = Mig(num_vars)
+    mask = tt_mask(num_vars)
+    if spec == 0:
+        mig.add_po(0, "f")
+        return mig
+    if spec == mask:
+        mig.add_po(1, "f")
+        return mig
+    for i in range(num_vars):
+        var = tt_var(num_vars, i)
+        if spec == var:
+            mig.add_po(make_signal(1 + i), "f")
+            return mig
+        if spec == var ^ mask:
+            mig.add_po(signal_not(make_signal(1 + i)), "f")
+            return mig
+    return None
+
+
+class ExactSynthesizer:
+    """Reusable exact synthesis engine with budgets and verification."""
+
+    def __init__(
+        self,
+        conflict_budget: int | None = None,
+        max_gates: int = 12,
+        verify: bool = True,
+        use_cegar: bool = True,
+    ) -> None:
+        self.conflict_budget = conflict_budget
+        self.max_gates = max_gates
+        self.verify = verify
+        self.use_cegar = use_cegar
+
+    def synthesize(
+        self,
+        spec: int,
+        num_vars: int,
+        upper_bound: Mig | None = None,
+    ) -> SynthesisResult:
+        """Synthesize a minimum MIG for *spec*.
+
+        *upper_bound*, when given, must be a single-output MIG computing
+        *spec*; the search then stops at ``size(upper_bound) - 1`` and can
+        prove the upper bound optimal, or fall back to it on budget
+        exhaustion.
+        """
+        start = time.perf_counter()
+        total_conflicts = 0
+        k_outcomes: dict[int, str] = {}
+
+        limit = self.max_gates
+        if upper_bound is not None:
+            if upper_bound.num_pis != num_vars or upper_bound.num_pos != 1:
+                raise ValueError("upper_bound must be a single-output MIG over num_vars PIs")
+            if self.verify and upper_bound.simulate()[0] != spec:
+                raise ValueError("upper_bound MIG does not compute the specification")
+            limit = min(limit, upper_bound.num_gates - 1)
+
+        trivial = _trivial_mig(spec, num_vars)
+        if trivial is not None:
+            return SynthesisResult(
+                spec, num_vars, trivial, 0, True, time.perf_counter() - start, 0,
+                {0: "sat"},
+            )
+        k_outcomes[0] = "unsat"
+
+        for k in range(1, limit + 1):
+            encoding = encode_exact_mig(spec, num_vars, k)
+            if self.use_cegar:
+                answer = encoding.solve_cegar(conflict_budget=self.conflict_budget)
+            else:
+                answer = encoding.solve(conflict_budget=self.conflict_budget)
+            total_conflicts += encoding.builder.solver.conflicts
+            if answer is True:
+                k_outcomes[k] = "sat"
+                mig = encoding.extract_mig()
+                if self.verify and mig.simulate()[0] != spec:
+                    raise RuntimeError(
+                        f"extracted MIG does not match spec 0x{spec:x} at k={k}"
+                    )
+                return SynthesisResult(
+                    spec, num_vars, mig, k, True,
+                    time.perf_counter() - start, total_conflicts, k_outcomes,
+                )
+            if answer is False:
+                k_outcomes[k] = "unsat"
+                continue
+            # Budget exhausted: fall back to the upper bound if present.
+            k_outcomes[k] = "unknown"
+            return SynthesisResult(
+                spec,
+                num_vars,
+                upper_bound,
+                upper_bound.num_gates if upper_bound is not None else None,
+                False,
+                time.perf_counter() - start,
+                total_conflicts,
+                k_outcomes,
+            )
+
+        if upper_bound is not None:
+            # Every size below the upper bound was refuted: it is optimal.
+            return SynthesisResult(
+                spec, num_vars, upper_bound, upper_bound.num_gates, True,
+                time.perf_counter() - start, total_conflicts, k_outcomes,
+            )
+        return SynthesisResult(
+            spec, num_vars, None, None, False,
+            time.perf_counter() - start, total_conflicts, k_outcomes,
+        )
+
+
+def synthesize_exact(
+    spec: int,
+    num_vars: int,
+    conflict_budget: int | None = None,
+    max_gates: int = 12,
+) -> SynthesisResult:
+    """Convenience wrapper: synthesize a minimum MIG for *spec*."""
+    return ExactSynthesizer(
+        conflict_budget=conflict_budget, max_gates=max_gates
+    ).synthesize(spec, num_vars)

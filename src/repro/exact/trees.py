@@ -1,0 +1,98 @@
+"""Optimal-length expression (tree) synthesis from the L(f) dynamic program.
+
+The exhaustive DP of :mod:`repro.exact.complexity` yields, for every
+4-variable function, the minimum number of majority operators in an
+expression tree.  This module *extracts witnesses*: an actual expression
+achieving ``L(f)``, rebuilt as an MIG (structural hashing may merge equal
+subtrees, so the resulting MIG size is ``<= L(f)``).
+
+These trees serve as the initial upper bounds of the NPN database
+(DESIGN.md §6): ``L(f)`` is at most ``C(f) + 2`` for every 4-variable
+function (compare the C and L columns of Table II), so even before any
+SAT improvement the database is near-optimal.
+
+Witness search: ``f = <a b h>`` decomposes as ``f = (a&b) | (h & (a|b))``,
+so for a candidate pair ``(a, b)`` a completing ``h`` exists iff
+``a&b ⊆ f ⊆ a|b`` and some ``h`` in the target cost set matches ``f`` on
+the disagreement bits ``a^b`` (elsewhere ``h`` is don't-care).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.mig import Mig, make_signal, signal_not
+from ..core.truth_table import tt_mask, tt_var
+from .complexity import cached_length_sets
+
+__all__ = ["TreeSynthesizer"]
+
+
+class TreeSynthesizer:
+    """Builds L-optimal expression MIGs for functions over *num_vars* inputs."""
+
+    def __init__(self, num_vars: int = 4) -> None:
+        self.num_vars = num_vars
+        self.mask = tt_mask(num_vars)
+        self.length, by_cost = cached_length_sets(num_vars)
+        # Keep sets as int64 numpy arrays for the vectorized witness search.
+        self.by_cost = {c: np.asarray(s, dtype=np.int64) for c, s in by_cost.items()}
+
+    def length_of(self, f: int) -> int:
+        """Return ``L(f)``."""
+        return int(self.length[f])
+
+    def synthesize(self, f: int) -> Mig:
+        """Return a single-output MIG realizing *f* with ``<= L(f)`` gates."""
+        mig = Mig(self.num_vars)
+        memo: dict[int, int] = {0: 0, self.mask: 1}
+        for i in range(self.num_vars):
+            var = tt_var(self.num_vars, i)
+            memo[var] = make_signal(1 + i)
+            memo[var ^ self.mask] = signal_not(make_signal(1 + i))
+
+        def build(g: int) -> int:
+            cached = memo.get(g)
+            if cached is not None:
+                return cached
+            comp = memo.get(g ^ self.mask)
+            if comp is not None:
+                signal = signal_not(comp)
+                memo[g] = signal
+                return signal
+            a, b, h = self._decompose(g)
+            signal = mig.maj(build(a), build(b), build(h))
+            memo[g] = signal
+            return signal
+
+        mig.add_po(build(f), "f")
+        return mig.cleanup()
+
+    def _decompose(self, f: int) -> tuple[int, int, int]:
+        """Find ``(a, b, h)`` with ``<abh> = f`` and optimal component lengths."""
+        cost = int(self.length[f])
+        if cost == 0:
+            raise ValueError(f"0x{f:x} is a terminal; nothing to decompose")
+        f_not = f ^ self.mask
+        for c1 in range((cost - 1) // 3 + 1):
+            for c2 in range(c1, cost - 1 - c1 + 1):
+                c3 = cost - 1 - c1 - c2
+                if c3 < c2:
+                    continue
+                sets = sorted(
+                    (self.by_cost[c1], self.by_cost[c2], self.by_cost[c3]), key=len
+                )
+                loop_set, pair_set, exist_set = sets[0], sets[2], sets[1]
+                for a in loop_set:
+                    a = int(a)
+                    ab = a & pair_set
+                    ob = a | pair_set
+                    ok = ((ab & f_not) == 0) & ((f & (ob ^ self.mask)) == 0)
+                    for bi in np.nonzero(ok)[0]:
+                        b = int(pair_set[bi])
+                        d = a ^ b
+                        need = f & d
+                        matches = exist_set[(exist_set & d) == need]
+                        if matches.size:
+                            return a, b, int(matches[0])
+        raise RuntimeError(f"no decomposition found for 0x{f:x} at cost {cost}")

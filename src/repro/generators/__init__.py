@@ -1,0 +1,29 @@
+"""Benchmark circuit generators (EPFL arithmetic suite equivalents)."""
+
+from .words import WordBuilder
+from .epfl import (
+    SUITE_SPECS,
+    adder,
+    arithmetic_suite,
+    divisor,
+    log2,
+    max4,
+    multiplier,
+    sine,
+    square,
+    square_root,
+)
+
+__all__ = [
+    "WordBuilder",
+    "SUITE_SPECS",
+    "arithmetic_suite",
+    "adder",
+    "divisor",
+    "log2",
+    "max4",
+    "multiplier",
+    "sine",
+    "square",
+    "square_root",
+]

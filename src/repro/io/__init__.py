@@ -1,0 +1,18 @@
+"""File formats: structural Verilog, BLIF, and AIGER."""
+
+from .verilog import write_verilog
+from .blif import read_blif, write_blif
+from .aiger import read_aag, read_aig_binary, write_aag, write_aig_binary
+from .bench import read_bench, write_bench
+
+__all__ = [
+    "write_verilog",
+    "read_blif",
+    "write_blif",
+    "read_aag",
+    "write_aag",
+    "read_aig_binary",
+    "write_aig_binary",
+    "read_bench",
+    "write_bench",
+]

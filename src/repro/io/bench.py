@@ -1,0 +1,154 @@
+"""ISCAS ``.bench`` format support.
+
+The .bench netlist format (used by the ISCAS-85/89 suites and by many
+academic tools) describes combinational logic as named gates::
+
+    INPUT(a)
+    OUTPUT(f)
+    t = AND(a, b)
+    f = NOT(t)
+
+Reading maps each gate to majority logic; writing decomposes majority
+gates into the AND/OR/NOT vocabulary.  Only combinational constructs are
+supported (no DFF), matching the paper's scope.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TextIO
+
+from ..core.mig import CONST0, CONST1, Mig, signal_not
+
+__all__ = ["read_bench", "write_bench"]
+
+_LINE_RE = re.compile(r"^\s*(\S+)\s*=\s*([A-Za-z][A-Za-z0-9]*)\s*\(([^)]*)\)\s*$")
+
+
+def read_bench(fp: TextIO) -> Mig:
+    """Read a combinational .bench file into an MIG."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: dict[str, tuple[str, list[str]]] = {}
+    for raw in fp:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT(") and line.endswith(")"):
+            inputs.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        if upper.startswith("OUTPUT(") and line.endswith(")"):
+            outputs.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unsupported .bench line: {line!r}")
+        target, op, arg_text = match.groups()
+        args = [a.strip() for a in arg_text.split(",") if a.strip()]
+        gates[target] = (op.upper(), args)
+
+    mig = Mig(name="bench")
+    signals: dict[str, int] = {}
+    for name in inputs:
+        signals[name] = mig.add_pi(name)
+
+    def tree(op_fn, operands: list[int]) -> int:
+        acc = operands[0]
+        for s in operands[1:]:
+            acc = op_fn(acc, s)
+        return acc
+
+    def build(name: str) -> int:
+        if name in signals:
+            return signals[name]
+        if name not in gates:
+            raise ValueError(f"undriven signal {name!r}")
+        op, arg_names = gates[name]
+        args = [build(a) for a in arg_names]
+        if op == "AND":
+            signal = tree(mig.and_, args)
+        elif op == "NAND":
+            signal = signal_not(tree(mig.and_, args))
+        elif op == "OR":
+            signal = tree(mig.or_, args)
+        elif op == "NOR":
+            signal = signal_not(tree(mig.or_, args))
+        elif op == "XOR":
+            signal = tree(mig.xor, args)
+        elif op == "XNOR":
+            signal = signal_not(tree(mig.xor, args))
+        elif op == "NOT":
+            signal = signal_not(args[0])
+        elif op in ("BUF", "BUFF"):
+            signal = args[0]
+        elif op == "MAJ":
+            if len(args) != 3:
+                raise ValueError("MAJ gate requires exactly three operands")
+            signal = mig.maj(*args)
+        elif op == "CONST0" or (op == "GND" and not args):
+            signal = CONST0
+        elif op == "CONST1" or (op == "VDD" and not args):
+            signal = CONST1
+        else:
+            raise ValueError(f"unsupported .bench gate {op!r}")
+        signals[name] = signal
+        return signal
+
+    for name in outputs:
+        mig.add_po(build(name), name)
+    return mig
+
+
+def write_bench(mig: Mig, fp: TextIO) -> None:
+    """Write *mig* in .bench format (majority decomposed as AND/OR/NOT)."""
+    fp.write(f"# {mig.name}\n")
+    for name in mig.pi_names:
+        fp.write(f"INPUT({name})\n")
+    for name in mig.output_names:
+        fp.write(f"OUTPUT({name})\n")
+
+    def base_name(node: int) -> str:
+        if node == 0:
+            return "const0"
+        if mig.is_pi(node):
+            return mig.pi_names[node - 1]
+        return f"n{node}"
+
+    names: dict[int, str] = {}  # signal -> emitted name
+    counter = [0]
+
+    uses_const = any(
+        (s >> 1) == 0 for g in mig.gates() for s in mig.fanins(g)
+    ) or any((s >> 1) == 0 for s in mig.outputs)
+    if uses_const:
+        fp.write("const0 = CONST0()\n")
+
+    def emit(signal: int) -> str:
+        if signal in names:
+            return names[signal]
+        node = signal >> 1
+        if signal & 1:
+            positive = emit(signal ^ 1)
+            inv = f"{base_name(node)}_bar"
+            fp.write(f"{inv} = NOT({positive})\n")
+            names[signal] = inv
+            return inv
+        if not mig.is_gate(node):
+            names[signal] = base_name(node)
+            return names[signal]
+        a, b, c = mig.fanins(node)
+        na, nb, nc = emit(a), emit(b), emit(c)
+        name = base_name(node)
+        counter[0] += 1
+        fp.write(f"{name}_ab = AND({na}, {nb})\n")
+        fp.write(f"{name}_ac = AND({na}, {nc})\n")
+        fp.write(f"{name}_bc = AND({nb}, {nc})\n")
+        fp.write(f"{name} = OR({name}_ab, {name}_ac, {name}_bc)\n")
+        names[signal] = name
+        return name
+
+    for name, s in zip(mig.output_names, mig.outputs):
+        source = emit(s)
+        if source != name:
+            fp.write(f"{name} = BUFF({source})\n")

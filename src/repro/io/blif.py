@@ -1,0 +1,163 @@
+"""BLIF reading and writing for MIGs.
+
+The Berkeley Logic Interchange Format is the lingua franca of academic
+logic-synthesis tools (ABC, SIS, mockturtle).  Writing emits one
+``.names`` cover per majority gate; reading accepts arbitrary
+combinational single-output covers and converts each to majority gates
+through the heuristic synthesizer (covers with up to 6 inputs).
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from ..core.mig import CONST0, CONST1, Mig, signal_not
+from ..core.truth_table import tt_mask
+from ..exact.heuristic import heuristic_mig
+
+__all__ = ["write_blif", "read_blif"]
+
+
+def write_blif(mig: Mig, fp: TextIO, model_name: str | None = None) -> None:
+    """Write *mig* in BLIF format (one ``.names`` per majority gate)."""
+    model = model_name if model_name is not None else (mig.name or "mig")
+    fp.write(f".model {model}\n")
+    fp.write(".inputs " + " ".join(mig.pi_names) + "\n")
+    fp.write(".outputs " + " ".join(mig.output_names) + "\n")
+
+    def node_name(node: int) -> str:
+        if node == 0:
+            return "const0"
+        if mig.is_pi(node):
+            return mig.pi_names[node - 1]
+        return f"n{node}"
+
+    uses_const = any(
+        (s >> 1) == 0 for g in mig.gates() for s in mig.fanins(g)
+    ) or any((s >> 1) == 0 for s in mig.outputs)
+    if uses_const:
+        fp.write(".names const0\n")  # empty cover = constant 0
+
+    for g in mig.gates():
+        fanins = mig.fanins(g)
+        names = [node_name(s >> 1) for s in fanins]
+        fp.write(f".names {names[0]} {names[1]} {names[2]} n{g}\n")
+        # Majority with per-input polarity baked into the cover rows.
+        pols = [0 if (s & 1) else 1 for s in fanins]  # value making input "true"
+        for pair in ((0, 1), (0, 2), (1, 2)):
+            row = []
+            for i in range(3):
+                row.append(str(pols[i]) if i in pair else "-")
+            fp.write("".join(row) + " 1\n")
+
+    for name, s in zip(mig.output_names, mig.outputs):
+        src = node_name(s >> 1)
+        if s & 1:
+            fp.write(f".names {src} {name}\n0 1\n")
+        else:
+            fp.write(f".names {src} {name}\n1 1\n")
+    fp.write(".end\n")
+
+
+def read_blif(fp: TextIO) -> Mig:
+    """Read a combinational BLIF model into an MIG.
+
+    Supports ``.names`` covers with up to 6 inputs (converted to majority
+    logic via the heuristic synthesizer), in any topological order.
+    """
+    inputs: list[str] = []
+    outputs: list[str] = []
+    model = "blif"
+    covers: dict[str, tuple[list[str], list[tuple[str, str]]]] = {}
+    current: tuple[list[str], list[tuple[str, str]]] | None = None
+
+    def tokens_of(line: str) -> list[str]:
+        return line.split()
+
+    # Join continuation lines.
+    text = fp.read().replace("\\\n", " ")
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tok = tokens_of(line)
+        if tok[0] == ".model":
+            model = tok[1] if len(tok) > 1 else model
+        elif tok[0] == ".inputs":
+            inputs.extend(tok[1:])
+        elif tok[0] == ".outputs":
+            outputs.extend(tok[1:])
+        elif tok[0] == ".names":
+            target = tok[-1]
+            current = (tok[1:-1], [])
+            covers[target] = current
+        elif tok[0] in (".end", ".exdc"):
+            current = None
+        elif tok[0].startswith("."):
+            raise ValueError(f"unsupported BLIF construct: {tok[0]}")
+        else:
+            if current is None:
+                raise ValueError(f"cover row outside .names: {line!r}")
+            if len(tok) == 1:
+                current[1].append(("", tok[0]))
+            else:
+                current[1].append((tok[0], tok[1]))
+
+    mig = Mig(name=model)
+    signals: dict[str, int] = {}
+    for name in inputs:
+        signals[name] = mig.add_pi(name)
+
+    def build(name: str) -> int:
+        if name in signals:
+            return signals[name]
+        if name not in covers:
+            raise ValueError(f"undriven signal {name!r}")
+        fanin_names, rows = covers[name]
+        fanins = [build(n) for n in fanin_names]
+        signals[name] = _cover_to_signal(mig, fanins, rows, len(fanin_names))
+        return signals[name]
+
+    for name in outputs:
+        mig.add_po(build(name), name)
+    return mig
+
+
+def _cover_to_signal(mig: Mig, fanins: list[int], rows: list[tuple[str, str]], n: int) -> int:
+    """Convert a SOP cover to an MIG signal over already-built fanins."""
+    if n == 0:
+        # Constant: empty cover is 0; any "1" row makes it 1.
+        return CONST1 if any(out == "1" for _, out in rows) else CONST0
+    if n > 6:
+        raise ValueError(f"cover with {n} inputs exceeds the supported maximum of 6")
+    on_rows = [pattern for pattern, out in rows if out == "1"]
+    off_rows = [pattern for pattern, out in rows if out == "0"]
+    if on_rows and off_rows:
+        raise ValueError("BLIF cover mixes on-set and off-set rows")
+    patterns = on_rows or off_rows
+    tt = 0
+    for m in range(1 << n):
+        for pattern in patterns:
+            if all(
+                ch == "-" or int(ch) == ((m >> i) & 1)
+                for i, ch in enumerate(pattern)
+            ):
+                tt |= 1 << m
+                break
+    if off_rows:
+        tt ^= tt_mask(n)
+    sub = heuristic_mig(tt, n)
+    # Inline `sub` into `mig`, substituting fanins for its PIs.
+    mapping: dict[int, int] = {0: 0}
+    for i in range(n):
+        mapping[1 + i] = fanins[i]
+    for node in sub.gates():
+        a, b, c = sub.fanins(node)
+        mapping[node] = mig.maj(
+            mapping[a >> 1] ^ (a & 1),
+            mapping[b >> 1] ^ (b & 1),
+            mapping[c >> 1] ^ (c & 1),
+        )
+    out = sub.outputs[0]
+    signal = mapping[out >> 1] ^ (out & 1)
+    return signal

@@ -1,0 +1,58 @@
+"""Structural Verilog export of MIGs.
+
+Writes a flat gate-level netlist using ``assign`` statements with the
+majority expressed as the standard AND/OR sum-of-pairs form, so the output
+is accepted by any synthesis or simulation tool.  This mirrors how MIG
+tools (CirKit / mockturtle) export networks for interoperability.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TextIO
+
+from ..core.mig import Mig
+
+__all__ = ["write_verilog"]
+
+
+def _escape(name: str) -> str:
+    """Make a signal name Verilog-safe."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+        return name
+    return "\\" + name + " "
+
+
+def write_verilog(mig: Mig, fp: TextIO, module_name: str | None = None) -> None:
+    """Write *mig* as a structural Verilog module."""
+    module = module_name if module_name is not None else (mig.name or "mig")
+    pi_names = [_escape(n) for n in mig.pi_names]
+    po_names = [_escape(n) for n in mig.output_names]
+    ports = ", ".join(pi_names + po_names)
+    fp.write(f"module {module}({ports});\n")
+    if pi_names:
+        fp.write("  input " + ", ".join(pi_names) + ";\n")
+    if po_names:
+        fp.write("  output " + ", ".join(po_names) + ";\n")
+
+    def ref(signal: int) -> str:
+        node = signal >> 1
+        if node == 0:
+            base = "1'b0"
+        elif mig.is_pi(node):
+            base = pi_names[node - 1]
+        else:
+            base = f"n{node}"
+        if signal & 1:
+            return f"(~{base})" if base != "1'b0" else "1'b1"
+        return base
+
+    gates = list(mig.gates())
+    if gates:
+        fp.write("  wire " + ", ".join(f"n{g}" for g in gates) + ";\n")
+    for g in gates:
+        a, b, c = (ref(s) for s in mig.fanins(g))
+        fp.write(f"  assign n{g} = ({a} & {b}) | ({a} & {c}) | ({b} & {c});\n")
+    for name, s in zip(po_names, mig.outputs):
+        fp.write(f"  assign {name} = {ref(s)};\n")
+    fp.write("endmodule\n")

@@ -1,0 +1,16 @@
+"""Technology mapping onto a generic standard-cell library (Table IV)."""
+
+from .library import Cell, CellLibrary, default_library
+from .mapper import MappingResult, map_mig
+from .netlist import CellInstance, MappedNetlist, materialize
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "default_library",
+    "MappingResult",
+    "map_mig",
+    "CellInstance",
+    "MappedNetlist",
+    "materialize",
+]

@@ -1,0 +1,19 @@
+"""MIG algebraic optimization (the depth/size flows of refs [3], [4])."""
+
+from .algebraic import LevelBuilder, depth_aware_maj
+from .depth_opt import optimize_depth
+from .size_opt import functional_reduce, strash_rebuild
+from .flow import FlowStepStats, optimize_until_convergence, run_flow
+from .fraig import fraig
+
+__all__ = [
+    "LevelBuilder",
+    "depth_aware_maj",
+    "optimize_depth",
+    "functional_reduce",
+    "strash_rebuild",
+    "run_flow",
+    "optimize_until_convergence",
+    "FlowStepStats",
+    "fraig",
+]

@@ -1,0 +1,118 @@
+"""Scripted optimization flows and convergence iteration.
+
+The paper's closing remark: *"In all experiments, we have performed the
+functional hashing algorithm only once.  Running it several times or
+combining it with other optimization or reshaping algorithms will likely
+lead to further improvements."*  This module provides exactly that
+machinery — ABC-script-style pass sequencing over MIGs:
+
+>>> from repro.opt.flow import run_flow
+>>> best, history = run_flow(mig, db, ["depth", "BF", "TFD", "BF"])
+
+Recognized steps: any functional-hashing variant acronym (``T``, ``TD``,
+``TF``, ``TFD``, ``B``, ``BD``, ``BF``, ``BFD``), ``depth`` (algebraic
+depth optimization), ``depth-fast`` (associativity only, size-neutral),
+``strash`` (structural-hash rebuild), and ``fraig`` (SAT sweeping, for
+networks the solver can handle).  :func:`optimize_until_convergence`
+repeats one variant to a fixpoint — the ablation benchmark
+``bench_ablation_iterate.py`` quantifies the paper's remark with it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.mig import Mig
+from ..database.npn_db import NpnDatabase
+from ..rewriting.engine import VARIANTS, functional_hashing
+from .depth_opt import optimize_depth
+from .size_opt import strash_rebuild
+
+__all__ = ["FlowStepStats", "run_flow", "optimize_until_convergence"]
+
+
+@dataclass(frozen=True)
+class FlowStepStats:
+    """Bookkeeping for one executed flow step."""
+
+    step: str
+    size_before: int
+    depth_before: int
+    size_after: int
+    depth_after: int
+    runtime: float
+
+
+def _apply_step(mig: Mig, db: NpnDatabase | None, step: str) -> Mig:
+    name = step.strip()
+    upper = name.upper()
+    if upper in VARIANTS:
+        if db is None:
+            raise ValueError(f"step {step!r} needs an NPN database")
+        return functional_hashing(mig, db, upper)
+    if name == "depth":
+        return optimize_depth(mig)
+    if name == "depth-fast":
+        return optimize_depth(mig, allow_size_increase=False)
+    if name == "strash":
+        return strash_rebuild(mig)
+    if name == "fraig":
+        from .fraig import fraig
+
+        return fraig(mig)
+    raise ValueError(
+        f"unknown flow step {step!r}; expected one of {VARIANTS} or "
+        "'depth', 'depth-fast', 'strash', 'fraig'"
+    )
+
+
+def run_flow(
+    mig: Mig,
+    db: NpnDatabase | None,
+    script: list[str],
+    verbose: bool = False,
+) -> tuple[Mig, list[FlowStepStats]]:
+    """Apply *script* steps in order; returns the final MIG and per-step stats."""
+    history: list[FlowStepStats] = []
+    current = mig
+    for step in script:
+        start = time.perf_counter()
+        nxt = _apply_step(current, db, step)
+        stats = FlowStepStats(
+            step=step,
+            size_before=current.num_gates,
+            depth_before=current.depth(),
+            size_after=nxt.num_gates,
+            depth_after=nxt.depth(),
+            runtime=time.perf_counter() - start,
+        )
+        history.append(stats)
+        if verbose:
+            print(
+                f"  {step:10} {stats.size_before}/{stats.depth_before} -> "
+                f"{stats.size_after}/{stats.depth_after} ({stats.runtime:.2f}s)"
+            )
+        current = nxt
+    return current, history
+
+
+def optimize_until_convergence(
+    mig: Mig,
+    db: NpnDatabase,
+    variant: str = "BF",
+    max_passes: int = 10,
+) -> tuple[Mig, int]:
+    """Repeat one functional-hashing variant until the size stops improving.
+
+    Returns the converged MIG and the number of productive passes.
+    """
+    current = mig
+    passes = 0
+    for _ in range(max_passes):
+        nxt = functional_hashing(current, db, variant)
+        if nxt.num_gates >= current.num_gates:
+            break
+        current = nxt
+        passes += 1
+    return current, passes

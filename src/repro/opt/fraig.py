@@ -1,0 +1,167 @@
+"""SAT sweeping ("fraiging") for MIGs of any width.
+
+:func:`repro.opt.size_opt.functional_reduce` merges functionally
+equivalent gates but needs exhaustive simulation (<= 14 inputs).  This
+pass scales to arbitrary widths using the classic FRAIG recipe of
+Kuehlmann et al. (ref. [2] of the paper, the original AIG application):
+
+1. simulate the network on random bit-parallel vectors — equal-signature
+   gates (up to complement) are *candidate* equivalences;
+2. rebuild the network in topological order, Tseitin-encoding every new
+   gate into one incremental SAT solver;
+3. when a gate's signature matches an earlier representative, ask the
+   solver (under assumptions, with a conflict budget) whether the two
+   signals can ever differ: an UNSAT answer is a proof and the gate is
+   merged; a model is a **counterexample**, which is simulated to refine
+   every signature so false candidate classes split and stop wasting
+   SAT calls (without refinement, e.g. wide AND cones all share the
+   all-zero signature and shadow each other).
+
+Budget-exhausted queries keep the gate — the pass only merges on proof.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.mig import Mig
+from ..core.truth_table import tt_maj
+from ..sat.solver import Solver
+
+__all__ = ["fraig"]
+
+
+def fraig(
+    mig: Mig,
+    num_words: int = 4,
+    width: int = 64,
+    seed: int = 0x5EED,
+    conflict_budget: int = 3000,
+    max_cex_rounds: int = 64,
+) -> Mig:
+    """Merge provably equivalent gates; returns the swept network."""
+    rng = random.Random(seed)
+    mask = (1 << width) - 1
+
+    # 1. Random-simulation signatures on the ORIGINAL network (mutable:
+    # counterexample words get appended during the sweep).
+    signatures: dict[int, list[int]] = {0: [0] * num_words}
+    for node in range(1, mig.num_pis + 1):
+        signatures[node] = [rng.getrandbits(width) for _ in range(num_words)]
+    for node in mig.gates():
+        a, b, c = mig.fanins(node)
+        sa, sb, sc = signatures[a >> 1], signatures[b >> 1], signatures[c >> 1]
+        signatures[node] = [
+            tt_maj(
+                sa[w] ^ (mask if a & 1 else 0),
+                sb[w] ^ (mask if b & 1 else 0),
+                sc[w] ^ (mask if c & 1 else 0),
+            )
+            for w in range(num_words)
+        ]
+
+    def canonical(node: int) -> tuple[tuple[int, ...], bool]:
+        sig = signatures[node]
+        if sig[0] & 1:
+            return tuple(w ^ mask for w in sig), True
+        return tuple(sig), False
+
+    # 2. Rebuild with an incremental SAT encoding of the NEW network.
+    new = Mig.like(mig)
+    solver = Solver()
+    const_var = solver.new_var()
+    solver.add_clause([-const_var])
+    node_var: dict[int, int] = {0: const_var}
+    for i in range(1, mig.num_pis + 1):
+        node_var[i] = solver.new_var()
+
+    def lit_of(signal: int) -> int:
+        var = node_var[signal >> 1]
+        return -var if signal & 1 else var
+
+    encoded_next = [mig.num_pis + 1]
+
+    def encode_up_to_date() -> None:
+        start = encoded_next[0]
+        encoded_next[0] = new.num_nodes
+        for node in range(start, new.num_nodes):
+            a, b, c = new.fanins(node)
+            out = solver.new_var()
+            node_var[node] = out
+            la, lb, lc = lit_of(a), lit_of(b), lit_of(c)
+            solver.add_clause([-la, -lb, out])
+            solver.add_clause([-la, -lc, out])
+            solver.add_clause([-lb, -lc, out])
+            solver.add_clause([la, lb, -out])
+            solver.add_clause([la, lc, -out])
+            solver.add_clause([lb, lc, -out])
+
+    # representative: canonical signature -> (old node, new signal of the
+    # canonical phase).  `processed` lets us re-key after refinements.
+    representative: dict[tuple[int, ...], int] = {}
+    processed: list[tuple[int, int]] = []  # (old node, canonical-phase signal)
+    cex_rounds = 0
+
+    def register(old_node: int, canon_signal: int) -> None:
+        representative.setdefault(canonical(old_node)[0], canon_signal)
+
+    def refine_with_counterexample() -> None:
+        """Append the solver model as a saturated signature word; re-key."""
+        nonlocal cex_rounds
+        cex_rounds += 1
+        pattern = [
+            1 if solver.model_value(node_var[i]) else 0
+            for i in range(1, mig.num_pis + 1)
+        ]
+        values = {0: 0}
+        for i, bit in enumerate(pattern):
+            values[1 + i] = bit
+        for node in mig.gates():
+            a, b, c = mig.fanins(node)
+            va = values[a >> 1] ^ (a & 1)
+            vb = values[b >> 1] ^ (b & 1)
+            vc = values[c >> 1] ^ (c & 1)
+            values[node] = (va + vb + vc) >> 1
+        for node, value in values.items():
+            signatures[node].append(mask if value else 0)
+        representative.clear()
+        for old_node, canon_signal in processed:
+            register(old_node, canon_signal)
+
+    mapping: dict[int, int] = {0: 0}
+    for i in range(1, mig.num_pis + 1):
+        mapping[i] = 2 * i
+        sig, phase = canonical(i)
+        representative.setdefault(sig, 2 * i ^ int(phase))
+        processed.append((i, 2 * i ^ int(phase)))
+
+    for node in mig.gates():
+        a, b, c = mig.fanins(node)
+        signal = new.maj(
+            mapping[a >> 1] ^ (a & 1),
+            mapping[b >> 1] ^ (b & 1),
+            mapping[c >> 1] ^ (c & 1),
+        )
+        sig, phase = canonical(node)
+        canon_signal = signal ^ int(phase)
+        existing = representative.get(sig)
+        if existing is not None and existing != canon_signal:
+            encode_up_to_date()
+            d = solver.new_var()
+            l1, l2 = lit_of(existing), lit_of(canon_signal)
+            solver.add_clause([-d, l1, l2])
+            solver.add_clause([-d, -l1, -l2])
+            answer = solver.solve(assumptions=[d], conflict_budget=conflict_budget)
+            if answer is False:
+                signal = existing ^ int(phase)
+                canon_signal = existing
+            elif answer is True and cex_rounds < max_cex_rounds:
+                refine_with_counterexample()
+                sig, phase = canonical(node)
+                canon_signal = signal ^ int(phase)
+        register(node, canon_signal)
+        processed.append((node, canon_signal))
+        mapping[node] = signal
+    for s, name in zip(mig.outputs, mig.output_names):
+        new.add_po(mapping[s >> 1] ^ (s & 1), name)
+    return new.cleanup()

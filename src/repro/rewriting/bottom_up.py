@@ -1,0 +1,136 @@
+"""Bottom-up functional hashing (Algorithm 2 of the paper).
+
+Nodes are visited in topological order.  For every node, each 4-feasible
+cut is matched against the precomputed minimum MIG of its function; the
+resulting implementations — built over the *candidate* implementations of
+the cut leaves — are collected as candidates ``(signal, size, depth)``.
+Only a bounded number of best candidates per node is kept ("similar to
+priority cuts in technology mapping", ref. [11]), and the best candidate
+of each output node is selected at the end.
+
+Size and depth of a candidate are estimates (leaf sizes plus database
+size; sharing between leaf cones is not modelled), exactly as in the
+paper's Algorithm 2 bookkeeping; the final network is measured after
+dead-node cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..core.cuts import cut_cone, enumerate_cuts
+from ..core.mig import CONST0, Mig, make_signal
+from ..core.truth_table import tt_extend
+from ..database.npn_db import NpnDatabase
+from .ffr import cut_is_fanout_free
+
+__all__ = ["rewrite_bottom_up"]
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A candidate implementation of a node in the new network."""
+
+    signal: int
+    size: int
+    depth: int
+
+
+def _insert(
+    candidates: list[_Candidate], new: _Candidate, limit: int
+) -> list[_Candidate]:
+    """Keep the best *limit* candidates, ordered by (size, depth)."""
+    for existing in candidates:
+        if existing.signal == new.signal:
+            return candidates
+    candidates.append(new)
+    candidates.sort(key=lambda cand: (cand.size, cand.depth))
+    return candidates[:limit]
+
+
+def rewrite_bottom_up(
+    mig: Mig,
+    db: NpnDatabase,
+    depth_preserving: bool = False,
+    fanout_free: bool = False,
+    cut_size: int = 4,
+    cut_limit: int = 8,
+    candidate_limit: int = 3,
+    combination_limit: int = 16,
+) -> Mig:
+    """Run one bottom-up functional-hashing pass; returns the optimized MIG."""
+    if cut_size > db.num_vars:
+        raise ValueError(f"cut size {cut_size} exceeds database arity {db.num_vars}")
+    cuts = enumerate_cuts(mig, k=cut_size, cut_limit=cut_limit)
+    fanout = mig.fanout_counts()
+    levels = mig.levels()
+    new = Mig.like(mig)
+
+    cand: dict[int, list[_Candidate]] = {0: [_Candidate(CONST0, 0, 0)]}
+    for i in range(1, mig.num_pis + 1):
+        cand[i] = [_Candidate(make_signal(i), 0, 0)]
+
+    for node in mig.gates():
+        entries: list[_Candidate] = []
+        # Baseline candidate: rebuild the node from its fanins' best.
+        a, b, c = mig.fanins(node)
+        best_a, best_b, best_c = (cand[a >> 1][0], cand[b >> 1][0], cand[c >> 1][0])
+        baseline = _Candidate(
+            new.maj(
+                best_a.signal ^ (a & 1),
+                best_b.signal ^ (b & 1),
+                best_c.signal ^ (c & 1),
+            ),
+            1 + best_a.size + best_b.size + best_c.size,
+            1 + max(best_a.depth, best_b.depth, best_c.depth),
+        )
+        entries = _insert(entries, baseline, candidate_limit)
+
+        for leaves in cuts[node]:
+            if leaves == (node,) or node in leaves:
+                continue
+            if fanout_free and not cut_is_fanout_free(mig, node, leaves, fanout):
+                continue
+            try:
+                internal = cut_cone(mig, node, leaves)
+                tt = mig.cut_function(node, leaves)
+            except ValueError:
+                continue
+            tt4 = tt_extend(tt, len(leaves), db.num_vars)
+            try:
+                entry, _ = db.lookup(tt4)
+            except KeyError:
+                continue
+            # Algorithm 2 admits replacements "that reduce the size";
+            # equal-size replacements are kept only in depth-preserving
+            # mode, where they may still help depth.
+            gain = len(internal) - entry.size
+            if gain < 0 or (gain == 0 and not depth_preserving):
+                continue
+            leaf_options = [cand[leaf][:2] for leaf in leaves]
+            combos = 0
+            for combo in product(*leaf_options):
+                combos += 1
+                if combos > combination_limit:
+                    break
+                leaf_signals = [cnd.signal for cnd in combo]
+                leaf_signals += [CONST0] * (db.num_vars - len(leaves))
+                leaf_depths = [cnd.depth for cnd in combo]
+                leaf_depths += [0] * (db.num_vars - len(leaves))
+                depth = db.instantiated_depth(tt4, leaf_depths)
+                if depth_preserving and depth > levels[node]:
+                    continue
+                if gain == 0 and depth >= levels[node]:
+                    continue  # equal size must at least improve depth
+                size = entry.size + sum(cnd.size for cnd in combo)
+                signal = db.rebuild(new, tt4, leaf_signals)
+                entries = _insert(
+                    entries, _Candidate(signal, size, depth), candidate_limit
+                )
+        cand[node] = entries
+
+    for s, name in zip(mig.outputs, mig.output_names):
+        best = cand[s >> 1][0]
+        new.add_po(best.signal ^ (s & 1), name)
+    return new.cleanup()

@@ -1,0 +1,85 @@
+"""On-demand minimum-MIG database for cuts with more than 4 inputs.
+
+Sec. IV of the paper: *"Already for 5 inputs, the enumeration of all NPN
+classes becomes impractical, which can be circumvented by considering a
+much smaller subset (see, e.g., [9])."*  This module implements that
+idea: instead of precomputing all 616 126 NPN-5 classes, entries are
+synthesized lazily for exactly the cut functions the rewriter encounters
+(the working set of real netlists is tiny), with an LRU-bounded cache.
+
+Each entry starts as a heuristic upper bound
+(:func:`repro.exact.heuristic.heuristic_mig`) and can optionally be
+tightened by budgeted exact synthesis.  The class is interface-compatible
+with :class:`repro.database.npn_db.NpnDatabase`, so every rewriting
+variant works unchanged with ``cut_size=5`` (or 6):
+
+>>> db5 = DynamicDatabase(num_vars=5)
+>>> optimized = functional_hashing(mig, db5, "BF", cut_size=5)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.npn import NPNTransform, npn_canonize
+from ..database.npn_db import DbEntry, NpnDatabase
+from ..exact.heuristic import heuristic_mig
+from ..exact.synthesis import ExactSynthesizer
+
+__all__ = ["DynamicDatabase"]
+
+
+class DynamicDatabase(NpnDatabase):
+    """A lazily populated NPN database for 5- or 6-input functions."""
+
+    def __init__(
+        self,
+        num_vars: int = 5,
+        improve_budget: int = 0,
+        max_entries: int = 50000,
+    ) -> None:
+        if num_vars < 4 or num_vars > 6:
+            raise ValueError("DynamicDatabase supports 4 to 6 variables")
+        super().__init__([], num_vars)
+        self.improve_budget = improve_budget
+        self.max_entries = max_entries
+        self._lru: OrderedDict[int, DbEntry] = OrderedDict()
+        self.misses = 0
+        self.hits = 0
+
+    @property
+    def complete(self) -> bool:  # noqa: D401 — never complete by design
+        """Always False: entries exist only for functions seen so far."""
+        return False
+
+    def lookup(self, tt: int) -> tuple[DbEntry, NPNTransform]:
+        """Return (entry, transform); synthesizes the entry on first use."""
+        rep, transform = npn_canonize(tt, self.num_vars)
+        entry = self._lru.get(rep)
+        if entry is not None:
+            self.hits += 1
+            self._lru.move_to_end(rep)
+            return entry, transform
+        self.misses += 1
+        entry = self._synthesize_entry(rep)
+        self._lru[rep] = entry
+        self.entries[rep] = entry
+        if len(self._lru) > self.max_entries:
+            evicted, _ = self._lru.popitem(last=False)
+            self.entries.pop(evicted, None)
+        return entry, transform
+
+    def _synthesize_entry(self, rep: int) -> DbEntry:
+        upper = heuristic_mig(rep, self.num_vars)
+        proven = upper.num_gates <= 1
+        if self.improve_budget > 0 and upper.num_gates > 1:
+            result = ExactSynthesizer(
+                conflict_budget=self.improve_budget,
+                max_gates=upper.num_gates - 1,
+            ).synthesize(rep, self.num_vars, upper_bound=upper)
+            if result.mig is not None:
+                return DbEntry.from_mig(
+                    rep, result.mig, proven=result.proven,
+                    conflicts=result.conflicts,
+                )
+        return DbEntry.from_mig(rep, upper, proven=proven)

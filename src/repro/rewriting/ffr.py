@@ -1,0 +1,93 @@
+"""Fanout-free regions of an MIG (Sec. IV-C of the paper).
+
+A fanout-free region (FFR) is a maximal cone in which every node other
+than the region's root has exactly one fanout, and that fanout lies
+inside the region.  The paper's F-variants apply functional hashing per
+FFR; replacing a cut whose internal nodes all stay within one FFR can
+never duplicate shared logic.
+
+Two equivalent implementations are possible (the paper names both): (a)
+partition first and rewrite per region, or (b) keep the whole network but
+discard cuts containing internal nodes with external fanout.  The
+rewriting engine uses (b); this module provides the explicit partition —
+used for statistics, tests, and the region-level API.
+"""
+
+from __future__ import annotations
+
+from ..core.mig import Mig
+
+__all__ = ["ffr_roots", "ffr_partition", "ffr_of_node", "cut_is_fanout_free"]
+
+
+def ffr_roots(mig: Mig, fanout: list[int] | None = None) -> list[int]:
+    """Gate nodes that are roots of fanout-free regions.
+
+    A gate is an FFR root when it drives an output or has fanout other
+    than exactly one.
+    """
+    if fanout is None:
+        fanout = mig.fanout_counts()
+    is_po_node = [False] * mig.num_nodes
+    for s in mig.outputs:
+        is_po_node[s >> 1] = True
+    return [
+        node
+        for node in mig.gates()
+        if is_po_node[node] or fanout[node] != 1
+    ]
+
+
+def ffr_of_node(mig: Mig, root: int, fanout: list[int] | None = None) -> list[int]:
+    """Gates of the FFR rooted at *root*, in topological order.
+
+    Includes *root*; descends only through fanins whose fanout is 1.
+    """
+    if fanout is None:
+        fanout = mig.fanout_counts()
+    members: set[int] = set()
+
+    def visit(node: int) -> None:
+        if node in members or not mig.is_gate(node):
+            return
+        members.add(node)
+        for s in mig.fanins(node):
+            child = s >> 1
+            if mig.is_gate(child) and fanout[child] == 1:
+                visit(child)
+
+    visit(root)
+    return sorted(members)
+
+
+def ffr_partition(mig: Mig) -> dict[int, list[int]]:
+    """Partition all reachable gates into FFRs: ``{root: member_gates}``."""
+    fanout = mig.fanout_counts()
+    partition: dict[int, list[int]] = {}
+    for root in ffr_roots(mig, fanout):
+        partition[root] = ffr_of_node(mig, root, fanout)
+    return partition
+
+
+def cut_is_fanout_free(
+    mig: Mig, root: int, leaves: tuple[int, ...], fanout: list[int]
+) -> bool:
+    """True if every internal node of the cut except the root has fanout 1.
+
+    This is the admissibility condition of the F-variants: such a cut can
+    be replaced without duplicating logic used elsewhere.
+    """
+    leaf_set = set(leaves)
+    stack = [s >> 1 for s in mig.fanins(root)]
+    seen = {root}
+    while stack:
+        node = stack.pop()
+        if node in leaf_set or node == 0 or node in seen:
+            continue
+        if not mig.is_gate(node):
+            return False  # malformed cut; treat as inadmissible
+        if fanout[node] != 1:
+            return False
+        seen.add(node)
+        stack.extend(s >> 1 for s in mig.fanins(node))
+    return True

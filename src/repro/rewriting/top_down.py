@@ -1,0 +1,119 @@
+"""Top-down functional hashing (Algorithm 1 of the paper).
+
+Starting from every output, the pass looks for the 4-feasible cut of the
+current node whose replacement by the precomputed minimum MIG yields the
+largest size reduction.  If one exists, the cut's internal nodes are
+skipped and optimization recurses on the cut leaves; otherwise the node is
+kept and optimization recurses on its fanins.
+
+Variants (Sec. IV / Sec. V-C acronyms):
+
+* plain ``T`` — cuts are admitted regardless of internal fanout.  The
+  *estimated* gain assumes all internal nodes disappear, which over-counts
+  when internal nodes feed logic outside the cut; those nodes get rebuilt
+  elsewhere and the network can *grow* — exactly the size increases the
+  paper reports for variant T in Table III.
+* ``..F`` (fanout-free) — only cuts whose internal nodes (other than the
+  root) have a single fanout are admitted, so the estimate is exact and
+  sharing is never duplicated.
+* ``..D`` (depth-preserving) — cuts whose replacement would locally
+  increase depth are discarded (the paper's "simple heuristic"; the
+  *global* depth may still increase when a non-critical path lengthens,
+  also noted in the paper).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..core.cuts import cut_cone, enumerate_cuts
+from ..core.mig import CONST0, Mig, make_signal
+from ..core.truth_table import tt_extend
+from ..database.npn_db import NpnDatabase
+from .ffr import cut_is_fanout_free
+
+__all__ = ["rewrite_top_down"]
+
+
+def rewrite_top_down(
+    mig: Mig,
+    db: NpnDatabase,
+    depth_preserving: bool = False,
+    fanout_free: bool = False,
+    cut_size: int = 4,
+    cut_limit: int = 12,
+) -> Mig:
+    """Run one top-down functional-hashing pass; returns the optimized MIG."""
+    if cut_size > db.num_vars:
+        raise ValueError(f"cut size {cut_size} exceeds database arity {db.num_vars}")
+    cuts = enumerate_cuts(mig, k=cut_size, cut_limit=cut_limit)
+    fanout = mig.fanout_counts()
+    levels = mig.levels()
+    new = Mig.like(mig)
+
+    memo: dict[int, int] = {0: 0}
+    for i in range(1, mig.num_pis + 1):
+        memo[i] = make_signal(i)
+
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, 4 * mig.num_nodes + 1000))
+
+    def best_cut(node: int) -> tuple[tuple[int, ...], int] | None:
+        """Pick the admissible cut with the largest estimated reduction."""
+        best: tuple[int, tuple[int, ...], int] | None = None
+        for leaves in cuts[node]:
+            if leaves == (node,) or node in leaves:
+                continue
+            try:
+                internal = cut_cone(mig, node, leaves)
+            except ValueError:
+                continue
+            if fanout_free and not cut_is_fanout_free(mig, node, leaves, fanout):
+                continue
+            tt = mig.cut_function(node, leaves)
+            tt4 = tt_extend(tt, len(leaves), db.num_vars)
+            try:
+                entry, _ = db.lookup(tt4)
+            except KeyError:
+                continue
+            gain = len(internal) - entry.size
+            if gain <= 0:
+                continue
+            if depth_preserving:
+                leaf_levels = [levels[leaf] for leaf in leaves]
+                leaf_levels += [0] * (db.num_vars - len(leaves))
+                new_level = db.instantiated_depth(tt4, leaf_levels)
+                if new_level > levels[node]:
+                    continue
+            if best is None or gain > best[0]:
+                best = (gain, leaves, tt4)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def opt(node: int) -> int:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        choice = best_cut(node)
+        if choice is not None:
+            leaves, tt4 = choice
+            leaf_signals = [opt(leaf) for leaf in leaves]
+            leaf_signals += [CONST0] * (db.num_vars - len(leaves))
+            signal = db.rebuild(new, tt4, leaf_signals)
+        else:
+            a, b, c = mig.fanins(node)
+            signal = new.maj(
+                opt(a >> 1) ^ (a & 1),
+                opt(b >> 1) ^ (b & 1),
+                opt(c >> 1) ^ (c & 1),
+            )
+        memo[node] = signal
+        return signal
+
+    try:
+        for s, name in zip(mig.outputs, mig.output_names):
+            new.add_po(opt(s >> 1) ^ (s & 1), name)
+    finally:
+        sys.setrecursionlimit(limit)
+    return new.cleanup()

@@ -1,0 +1,19 @@
+"""SAT substrate: CDCL solver, CNF helpers, DIMACS I/O, and CEC."""
+
+from .solver import SAT, UNKNOWN, UNSAT, Solver
+from .cnf import CnfBuilder
+from .dimacs import load_into_solver, parse_dimacs, write_dimacs
+from .cec import CecResult, check_equivalence_sat
+
+__all__ = [
+    "Solver",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "CnfBuilder",
+    "write_dimacs",
+    "parse_dimacs",
+    "load_into_solver",
+    "CecResult",
+    "check_equivalence_sat",
+]

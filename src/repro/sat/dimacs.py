@@ -1,0 +1,64 @@
+"""DIMACS CNF reading and writing.
+
+Lets the exact-synthesis encoder dump instances for external solvers and
+lets the test-suite replay reference instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TextIO
+
+from .solver import Solver
+
+__all__ = ["write_dimacs", "parse_dimacs", "load_into_solver"]
+
+
+def write_dimacs(num_vars: int, clauses: Iterable[Iterable[int]], fp: TextIO) -> None:
+    """Write a CNF in DIMACS format to an open text file."""
+    clause_list = [list(c) for c in clauses]
+    fp.write(f"p cnf {num_vars} {len(clause_list)}\n")
+    for clause in clause_list:
+        fp.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+
+def parse_dimacs(fp: TextIO) -> tuple[int, list[list[int]]]:
+    """Parse a DIMACS CNF file; returns ``(num_vars, clauses)``."""
+    num_vars = 0
+    declared_clauses: int | None = None
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for line in fp:
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise ValueError(
+            f"header declares {declared_clauses} clauses but file has {len(clauses)}"
+        )
+    return num_vars, clauses
+
+
+def load_into_solver(fp: TextIO) -> Solver:
+    """Parse a DIMACS file directly into a fresh solver."""
+    num_vars, clauses = parse_dimacs(fp)
+    solver = Solver()
+    solver.new_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver

@@ -1,0 +1,515 @@
+"""A CDCL SAT solver in pure Python.
+
+This is the decision-procedure substrate of the reproduction: the paper
+solves its exact-synthesis formulation (Sec. III) with the SMT solver Z3;
+since the formulation is finite-domain, we bit-blast it to CNF
+(:mod:`repro.exact.encoding`) and solve it here.
+
+The solver implements the standard modern architecture:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with recursive clause minimization,
+* VSIDS variable activities with phase saving,
+* Luby-sequence restarts,
+* activity-based learned-clause database reduction,
+* solving under assumptions, and
+* conflict budgets for anytime use (returns ``None`` when exhausted).
+
+Variables are positive integers; literals follow the DIMACS convention
+(``v`` positive literal, ``-v`` negative literal).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+__all__ = ["Solver", "SAT", "UNSAT", "UNKNOWN"]
+
+SAT = True
+UNSAT = False
+UNKNOWN = None
+
+_UNDEF = 0
+_TRUE = 1
+_FALSE = -1
+
+
+def _luby(i: int) -> int:
+    """The i-th element (0-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) >> 1
+        seq -= 1
+        i %= size
+    return 1 << seq
+
+
+class Solver:
+    """A CDCL SAT solver instance.
+
+    >>> s = Solver()
+    >>> a, b = s.new_var(), s.new_var()
+    >>> s.add_clause([a, b]); s.add_clause([-a, b]); s.add_clause([a, -b])
+    >>> s.solve()
+    True
+    >>> s.model_value(a), s.model_value(b)
+    (True, True)
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # Literal index: positive literal v -> 2v, negative -> 2v+1.
+        self._watches: list[list[list[int]]] = [[], []]
+        self._assigns: list[int] = [0]
+        self._level: list[int] = [0]
+        self._reason: list[list[int] | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._clauses: list[list[int]] = []
+        self._learnts: list[list[int]] = []
+        self._cla_activity: dict[int, float] = {}
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._ok = True
+        self._order_heap: list[tuple[float, int]] = []
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.model: list[int] = []
+        self._assumption_levels: list[int] = []
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self.num_vars += 1
+        self._watches.append([])
+        self._watches.append([])
+        self._assigns.append(_UNDEF)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate *count* fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            # A previous solve may have returned while assumptions were
+            # still on the trail; clause addition must happen at root.
+            self._cancel_until(0)
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            var = abs(lit)
+            if var == 0 or var > self.num_vars:
+                raise ValueError(f"literal {lit} uses an unallocated variable")
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._lit_value(lit)
+            if value == _TRUE and self._level[var] == 0:
+                return True  # already satisfied at root
+            if value == _FALSE and self._level[var] == 0:
+                continue  # root-false literal: drop
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            self._ok = self.propagate() is None
+            return self._ok
+        self._attach(clause)
+        self._clauses.append(clause)
+        return True
+
+    # ------------------------------------------------------------------
+    # assignment bookkeeping
+    # ------------------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        value = self._assigns[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _lit_index(self, lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+
+    def _attach(self, clause: list[int]) -> None:
+        self._watches[self._lit_index(-clause[0])].append(clause)
+        self._watches[self._lit_index(-clause[1])].append(clause)
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        value = self._lit_value(lit)
+        if value == _FALSE:
+            return False
+        if value == _TRUE:
+            return True
+        var = abs(lit)
+        self._assigns[var] = _TRUE if lit > 0 else _FALSE
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        heap = self._order_heap
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            var = abs(self._trail[i])
+            self._assigns[var] = _UNDEF
+            self._reason[var] = None
+            heapq.heappush(heap, (-self._activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+
+    def propagate(self) -> list[int] | None:
+        """Unit propagation; returns the conflicting clause or None."""
+        watches = self._watches
+        assigns = self._assigns
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            idx = self._lit_index(lit)
+            watch_list = watches[idx]
+            kept: list[list[int]] = []
+            i = 0
+            n = len(watch_list)
+            conflict: list[int] | None = None
+            while i < n:
+                clause = watch_list[i]
+                i += 1
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                v0 = assigns[first] if first > 0 else -assigns[-first]
+                if v0 == _TRUE:
+                    kept.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for j in range(2, len(clause)):
+                    lj = clause[j]
+                    vj = assigns[lj] if lj > 0 else -assigns[-lj]
+                    if vj != _FALSE:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        watches[self._lit_index(-clause[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                kept.append(clause)
+                # Clause is unit or conflicting.
+                if v0 == _FALSE:
+                    conflict = clause
+                    kept.extend(watch_list[i:])
+                    break
+                self._enqueue(first, clause)
+            watches[idx] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self._trail) - 1
+        reason: list[int] | None = conflict
+        level = self._decision_level()
+        first = True
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            start = 0 if first else 1
+            for q in reason[start:] if not first else reason:
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            first = False
+            # Find the next literal on the trail to resolve on.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learnt[0] = -lit
+
+        # Clause minimization: drop literals implied by the rest.
+        abstract_levels = 0
+        for q in learnt[1:]:
+            abstract_levels |= 1 << (self._level[abs(q)] & 31)
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            if self._reason[abs(q)] is None or not self._lit_redundant(
+                q, seen, abstract_levels
+            ):
+                minimized.append(q)
+        learnt = minimized
+
+        # Compute backtrack level.
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = self._level[abs(learnt[1])]
+        return learnt, back_level
+
+    def _lit_redundant(self, lit: int, seen: list[bool], abstract_levels: int) -> bool:
+        stack = [lit]
+        cleared: list[int] = []
+        while stack:
+            q = stack.pop()
+            reason = self._reason[abs(q)]
+            if reason is None:
+                for var in cleared:
+                    seen[var] = False
+                return False
+            for p in reason[1:]:
+                var = abs(p)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                if (
+                    self._reason[var] is not None
+                    and (1 << (self._level[var] & 31)) & abstract_levels
+                ):
+                    seen[var] = True
+                    cleared.append(var)
+                    stack.append(p)
+                else:
+                    for v in cleared:
+                        seen[v] = False
+                    return False
+        return True
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        if self._assigns[var] == _UNDEF:
+            # Lazy decrease-key: push a fresh entry; stale ones are skipped.
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+
+    def _bump_clause(self, clause: list[int]) -> None:
+        key = id(clause)
+        if key in self._cla_activity:
+            self._cla_activity[key] += self._cla_inc
+            if self._cla_activity[key] > 1e20:
+                for k in self._cla_activity:
+                    self._cla_activity[k] *= 1e-20
+                self._cla_inc *= 1e-20
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+
+        heap = self._order_heap
+        while heap:
+            _, var = heapq.heappop(heap)
+            if self._assigns[var] == _UNDEF:
+                return var
+        for var in range(1, self.num_vars + 1):
+            if self._assigns[var] == _UNDEF:
+                return var
+        return 0
+
+    def _rebuild_heap(self) -> None:
+
+        self._order_heap = [
+            (-self._activity[v], v)
+            for v in range(1, self.num_vars + 1)
+            if self._assigns[v] == _UNDEF
+        ]
+        heapq.heapify(self._order_heap)
+
+    def _reduce_db(self) -> None:
+        acts = self._cla_activity
+        learnts = sorted(self._learnts, key=lambda c: acts.get(id(c), 0.0))
+        keep_from = len(learnts) // 2
+        removed = set()
+        for clause in learnts[:keep_from]:
+            if len(clause) > 2 and not self._is_reason(clause):
+                removed.add(id(clause))
+        if not removed:
+            return
+        self._learnts = [c for c in self._learnts if id(c) not in removed]
+        for idx in range(len(self._watches)):
+            self._watches[idx] = [c for c in self._watches[idx] if id(c) not in removed]
+        for key in removed:
+            self._cla_activity.pop(key, None)
+
+    def _is_reason(self, clause: list[int]) -> bool:
+        lit = clause[0]
+        return self._reason[abs(lit)] is clause
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: int | None = None,
+    ) -> bool | None:
+        """Solve the formula.
+
+        Returns ``True`` (SAT, model available), ``False`` (UNSAT), or
+        ``None`` when *conflict_budget* conflicts were spent without an
+        answer.
+        """
+        if not self._ok:
+            return UNSAT
+        self._cancel_until(0)
+        if self.propagate() is not None:
+            self._ok = False
+            return UNSAT
+        self._rebuild_heap()
+        budget = conflict_budget
+        restart_count = 0
+        max_learnts = 4000.0
+
+        while True:
+            limit = 100 * _luby(restart_count)
+            restart_count += 1
+            conflicts_here = 0
+            self._cancel_until(0)
+            # Re-apply assumptions after each restart.
+            status = self._apply_assumptions(assumptions)
+            if status is not None:
+                self._cancel_until(0)
+                return status
+            while True:
+                conflict = self.propagate()
+                if conflict is not None:
+                    self.conflicts += 1
+                    conflicts_here += 1
+                    if budget is not None:
+                        budget -= 1
+                        if budget <= 0:
+                            self._cancel_until(0)
+                            return UNKNOWN
+                    if self._decision_level() <= len(self._assumption_levels):
+                        # Conflict under assumptions only (or at root).
+                        if self._decision_level() == 0:
+                            self._ok = False
+                        self._cancel_until(0)
+                        return UNSAT
+                    learnt, back_level = self._analyze(conflict)
+                    back_level = max(back_level, len(self._assumption_levels))
+                    self._cancel_until(back_level)
+                    if len(learnt) == 1:
+                        self._cancel_until(0)
+                        if not self._enqueue(learnt[0], None):
+                            self._ok = False
+                            return UNSAT
+                        status = self._apply_assumptions(assumptions)
+                        if status is not None:
+                            self._cancel_until(0)
+                            return status
+                    else:
+                        self._attach(learnt)
+                        self._learnts.append(learnt)
+                        self._cla_activity[id(learnt)] = self._cla_inc
+                        self._enqueue(learnt[0], learnt)
+                    self._var_inc *= self._var_decay
+                    self._cla_inc *= 1.001
+                    if len(self._learnts) > max_learnts:
+                        self._reduce_db()
+                        max_learnts *= 1.1
+                    continue
+                if conflicts_here >= limit:
+                    break  # restart
+                var = self._pick_branch_var()
+                if var == 0:
+                    self.model = [0] + [
+                        1 if self._assigns[v] == _TRUE else 0
+                        for v in range(1, self.num_vars + 1)
+                    ]
+                    self._cancel_until(0)
+                    return SAT
+                self.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                lit = var if self._phase[var] else -var
+                heapq.heappush(self._order_heap, (-self._activity[var], var))
+                self._enqueue(lit, None)
+
+    def _apply_assumptions(self, assumptions: Sequence[int]) -> bool | None:
+        """Push assumptions as pseudo-decisions; returns UNSAT on clash."""
+        self._assumption_levels = []
+        for lit in assumptions:
+            conflict = self.propagate()
+            if conflict is not None:
+                return UNSAT
+            value = self._lit_value(lit)
+            if value == _TRUE:
+                continue
+            if value == _FALSE:
+                return UNSAT
+            self._trail_lim.append(len(self._trail))
+            self._assumption_levels.append(len(self._trail_lim))
+            self._enqueue(lit, None)
+        return None
+
+    # ------------------------------------------------------------------
+    # model access
+    # ------------------------------------------------------------------
+
+    def model_value(self, lit: int) -> bool:
+        """Value of *lit* in the last model (only valid after SAT)."""
+        if not self.model:
+            raise RuntimeError("no model available; call solve() first and check SAT")
+        value = bool(self.model[abs(lit)])
+        return value if lit > 0 else not value

@@ -1,0 +1,83 @@
+"""Tests for the AIG substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.core.truth_table import tt_mask, tt_var
+
+
+class TestConstruction:
+    def test_unit_rules(self):
+        aig = Aig(2)
+        a, b = aig.pi_signals()
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, a ^ 1) == 0
+        assert aig.and_(a, 0) == 0
+        assert aig.and_(a, 1) == a
+        assert aig.num_gates == 0
+
+    def test_structural_hashing(self):
+        aig = Aig(2)
+        a, b = aig.pi_signals()
+        assert aig.and_(a, b) == aig.and_(b, a)
+        assert aig.num_gates == 1
+
+    def test_pis_before_gates(self):
+        aig = Aig(1)
+        (a,) = aig.pi_signals()
+        aig.and_(a, a ^ 1)
+        aig.and_(a, 2)  # no-op gate creation is fine
+        aig2 = Aig(1)
+        (x,) = aig2.pi_signals()
+        aig2.and_(x, 1)
+        aig2.and_(x ^ 1, x)
+        # adding a gate then a PI must fail
+        aig3 = Aig(2)
+        p, q = aig3.pi_signals()
+        aig3.and_(p, q)
+        with pytest.raises(ValueError):
+            aig3.add_pi()
+
+    def test_simulation(self):
+        aig = Aig(2)
+        a, b = aig.pi_signals()
+        aig.add_po(aig.and_(a, b), "and")
+        aig.add_po(aig.or_(a, b), "or")
+        aig.add_po(aig.xor(a, b), "xor")
+        va, vb = tt_var(2, 0), tt_var(2, 1)
+        and_tt, or_tt, xor_tt = aig.simulate()
+        assert and_tt == va & vb
+        assert or_tt == va | vb
+        assert xor_tt == va ^ vb
+
+    def test_mux(self):
+        aig = Aig(3)
+        s, t, e = aig.pi_signals()
+        aig.add_po(aig.mux(s, t, e))
+        vs, vt, ve = (tt_var(3, i) for i in range(3))
+        assert aig.simulate()[0] == (vs & vt) | (~vs & tt_mask(3) & ve)
+
+    def test_depth_and_levels(self):
+        aig = Aig(3)
+        a, b, c = aig.pi_signals()
+        aig.add_po(aig.and_(aig.and_(a, b), c))
+        assert aig.depth() == 2
+
+    def test_cleanup(self):
+        aig = Aig(2)
+        a, b = aig.pi_signals()
+        keep = aig.and_(a, b)
+        aig.or_(a, b)  # dead
+        aig.add_po(keep)
+        clean = aig.cleanup()
+        assert clean.num_gates == 1
+        assert clean.simulate() == aig.simulate()
+
+    def test_unknown_signal_rejected(self):
+        aig = Aig(1)
+        with pytest.raises(ValueError):
+            aig.and_(2, 98)
+        with pytest.raises(ValueError):
+            aig.add_po(98)

@@ -1,0 +1,73 @@
+"""Tests for MIG pretty-printing and miscellaneous core helpers."""
+
+from __future__ import annotations
+
+from repro.core.mig import CONST0, CONST1, Mig, signal_not
+from repro.core.truth_table import tt_ite, tt_mask, tt_var
+
+
+class TestExpressions:
+    def test_signal_names(self, full_adder):
+        assert full_adder.signal_name(0) == "0"
+        assert full_adder.signal_name(1) == "!0"
+        assert full_adder.signal_name(2) == "x0"
+        assert full_adder.signal_name(3) == "!x0"
+        gate = next(iter(full_adder.gates()))
+        assert full_adder.signal_name(gate << 1) == f"n{gate}"
+
+    def test_custom_pi_names(self):
+        mig = Mig()
+        a = mig.add_pi("alpha")
+        assert mig.signal_name(a) == "alpha"
+        assert mig.signal_name(signal_not(a)) == "!alpha"
+
+    def test_expression_nesting(self):
+        mig = Mig(3)
+        a, b, c = mig.pi_signals()
+        inner = mig.maj(CONST0, a, b)
+        outer = mig.maj(inner, c, CONST1)
+        expr = mig.to_expression(outer)
+        assert expr.count("<") == 2
+        assert "x0" in expr and "x2" in expr
+
+    def test_expression_of_terminal(self, full_adder):
+        assert full_adder.to_expression(2) == "x0"
+        assert full_adder.to_expression(3) == "!x0"
+
+    def test_complemented_expression_prefix(self):
+        mig = Mig(3)
+        a, b, c = mig.pi_signals()
+        g = mig.maj(a, b, c)
+        assert mig.to_expression(signal_not(g)).startswith("!<")
+
+
+class TestTtIte:
+    def test_ite_semantics(self):
+        c, t, e = tt_var(3, 0), tt_var(3, 1), tt_var(3, 2)
+        got = tt_ite(c, t, e, 3)
+        expected = (c & t) | ((c ^ tt_mask(3)) & e)
+        assert got == expected
+
+    def test_ite_constants(self):
+        t, e = tt_var(2, 0), tt_var(2, 1)
+        assert tt_ite(tt_mask(2), t, e, 2) == t
+        assert tt_ite(0, t, e, 2) == e
+
+
+class TestConstSignals:
+    def test_maj_with_both_constants(self):
+        mig = Mig(1)
+        (a,) = mig.pi_signals()
+        # <0 1 a> = a  (constants are complements of each other)
+        assert mig.maj(CONST0, CONST1, a) == a
+
+    def test_po_to_constant(self):
+        mig = Mig(1)
+        mig.add_po(CONST1, "one")
+        assert mig.simulate() == [tt_mask(1)]
+
+    def test_empty_network_depth(self):
+        mig = Mig(2)
+        assert mig.depth() == 0
+        mig.add_po(CONST0)
+        assert mig.depth() == 0

@@ -1,0 +1,120 @@
+"""Tests for NPN classification (Sec. II-D of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.npn import (
+    NPNTransform,
+    apply_transform,
+    compose_transforms,
+    enumerate_npn_classes,
+    identity_transform,
+    invert_transform,
+    npn_canonize,
+    npn_class_sizes,
+    npn_representative,
+)
+from repro.core.truth_table import tt_mask, tt_not, tt_permute, tt_var
+
+tt4 = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def random_transform(draw) -> NPNTransform:
+    perm = tuple(draw(st.permutations(list(range(4)))))
+    flips = draw(st.integers(min_value=0, max_value=15))
+    out = draw(st.booleans())
+    return NPNTransform(perm, flips, out)
+
+
+transforms = st.builds(
+    NPNTransform,
+    st.permutations(list(range(4))).map(tuple),
+    st.integers(min_value=0, max_value=15),
+    st.booleans(),
+)
+
+
+class TestClassCounts:
+    """The paper's class counts: 2, 4, 14, 222 for n = 1..4 (Sec. II-D)."""
+
+    def test_counts_match_paper(self):
+        assert len(enumerate_npn_classes(1)) == 2
+        assert len(enumerate_npn_classes(2)) == 4
+        assert len(enumerate_npn_classes(3)) == 14
+        assert len(enumerate_npn_classes(4)) == 222
+
+    def test_five_variables_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_npn_classes(5)
+
+    def test_class_sizes_partition_the_space(self):
+        for n in (1, 2, 3):
+            sizes = npn_class_sizes(n)
+            assert sum(sizes.values()) == 1 << (1 << n)
+
+    def test_class_sizes_partition_n4(self):
+        sizes = npn_class_sizes(4)
+        assert sum(sizes.values()) == 65536
+        assert len(sizes) == 222
+
+    def test_representatives_are_minimal(self):
+        for rep in enumerate_npn_classes(3):
+            assert npn_representative(rep, 3) == rep
+
+
+class TestCanonize:
+    @given(tt4)
+    @settings(max_examples=60)
+    def test_roundtrip(self, f):
+        rep, t = npn_canonize(f, 4)
+        assert apply_transform(rep, t, 4) == f
+
+    @given(tt4, transforms)
+    @settings(max_examples=60)
+    def test_invariance_under_transform(self, f, t):
+        g = apply_transform(f, t, 4)
+        assert npn_representative(f, 4) == npn_representative(g, 4)
+
+    @given(tt4)
+    @settings(max_examples=40)
+    def test_representative_is_orbit_minimum(self, f):
+        rep, _ = npn_canonize(f, 4)
+        assert rep <= f
+        assert rep <= (f ^ tt_mask(4))
+
+    def test_complement_same_class(self):
+        f = 0x1668
+        assert npn_representative(f, 4) == npn_representative(
+            tt_not(f, 4), 4
+        )
+
+    def test_permutation_same_class(self):
+        f = tt_var(4, 0) & tt_var(4, 1) | tt_var(4, 2)
+        g = tt_permute(f, (3, 2, 1, 0), 4)
+        assert npn_representative(f, 4) == npn_representative(g, 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            npn_canonize(0x10000, 4)
+
+
+class TestTransformAlgebra:
+    @given(tt4, transforms)
+    @settings(max_examples=60)
+    def test_inverse(self, f, t):
+        assert apply_transform(apply_transform(f, t, 4), invert_transform(t), 4) == f
+
+    @given(tt4, transforms, transforms)
+    @settings(max_examples=60)
+    def test_composition(self, f, outer, inner):
+        composed = compose_transforms(outer, inner)
+        assert apply_transform(f, composed, 4) == apply_transform(
+            apply_transform(f, inner, 4), outer, 4
+        )
+
+    @given(tt4)
+    def test_identity(self, f):
+        assert apply_transform(f, identity_transform(4), 4) == f

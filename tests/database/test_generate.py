@@ -1,0 +1,78 @@
+"""Tests for database generation (tree phase + SAT improvement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.npn import enumerate_npn_classes
+from repro.database.generate import generate_tree_database, improve_with_sat
+from repro.database.npn_db import NpnDatabase
+
+
+@pytest.fixture(scope="module")
+def tree_db3() -> NpnDatabase:
+    return generate_tree_database(num_vars=3)
+
+
+class TestTreePhase:
+    def test_complete_and_verified(self, tree_db3):
+        assert len(tree_db3) == 14
+        tree_db3.verify()
+
+    def test_trivial_entries_proven(self, tree_db3):
+        for rep, entry in tree_db3.entries.items():
+            if entry.size <= 1:
+                assert entry.proven
+
+    def test_sizes_bounded_by_length(self, tree_db3):
+        from repro.exact.complexity import cached_length_table
+
+        table = cached_length_table(3)
+        for rep, entry in tree_db3.entries.items():
+            assert entry.size <= int(table[rep])
+
+
+class TestSatPhase:
+    def test_improvement_reaches_exact_3var_distribution(self, tree_db3):
+        db = NpnDatabase(list(tree_db3.entries.values()), 3)
+        stats = improve_with_sat(db, budget=300000)
+        assert stats["visited"] > 0
+        db.verify()
+        # With generous budget, every 3-var class is provable.
+        assert all(entry.proven for entry in db.entries.values())
+        assert db.size_histogram() == {0: 2, 1: 2, 2: 2, 3: 4, 4: 4}
+
+    def test_time_limit_checkpoints(self, tree_db3, tmp_path):
+        db = NpnDatabase(list(tree_db3.entries.values()), 3)
+        out = tmp_path / "partial.jsonl"
+        improve_with_sat(db, budget=50000, time_limit=0.5, out_path=out)
+        # Whatever happened, the checkpoint file must load and verify.
+        if out.exists():
+            loaded = NpnDatabase.load(out, num_vars=3)
+            loaded.verify()
+
+    def test_idempotent_on_proven(self, tree_db3):
+        db = NpnDatabase(list(tree_db3.entries.values()), 3)
+        improve_with_sat(db, budget=300000)
+        before = {rep: e.size for rep, e in db.entries.items()}
+        stats = improve_with_sat(db, budget=1000)
+        assert stats["visited"] == 0  # everything already proven
+        assert {rep: e.size for rep, e in db.entries.items()} == before
+
+
+class TestShippedDatabaseProvenance:
+    def test_shipped_entries_within_length_bound(self, db):
+        from repro.exact.complexity import cached_length_table
+
+        table = cached_length_table(4)
+        for rep, entry in db.entries.items():
+            assert entry.size <= int(table[rep]), hex(rep)
+
+    def test_shipped_proven_rows_match_paper_low_sizes(self, db):
+        """Sizes 0-3 are cheap to prove; the shipped db must have them."""
+        for rep, entry in db.entries.items():
+            if entry.size <= 1:
+                assert entry.proven, hex(rep)
+
+    def test_covers_all_classes(self, db):
+        assert set(db.entries) == set(enumerate_npn_classes(4))

@@ -1,0 +1,69 @@
+"""Tests for the Theorem 2 size bound."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.truth_table import tt_mask, tt_var
+from repro.exact.bounds import shannon_upper_bound_mig, theorem2_bound
+
+
+class TestBoundFormula:
+    def test_paper_values(self):
+        """C(4) <= 7, C(5) <= 17, C(6) <= 37, C(7) <= 77."""
+        assert theorem2_bound(4) == 7
+        assert theorem2_bound(5) == 17
+        assert theorem2_bound(6) == 37
+        assert theorem2_bound(7) == 77
+
+    def test_recurrence(self):
+        """The bound satisfies C(n+1) <= 2*C(n) + 3 with equality."""
+        for n in range(4, 10):
+            assert theorem2_bound(n + 1) == 2 * theorem2_bound(n) + 3
+
+    def test_relaxed_base(self):
+        assert theorem2_bound(4, base_cost=9) == 9
+        assert theorem2_bound(5, base_cost=9) == 21
+
+    def test_below_four_rejected(self):
+        with pytest.raises(ValueError):
+            theorem2_bound(3)
+
+
+class TestShannonConstruction:
+    def test_five_variable_functions(self, db):
+        rng = random.Random(3)
+        base = max(entry.size for entry in db.entries.values())
+        bound = theorem2_bound(5, base_cost=base)
+        for _ in range(10):
+            spec = rng.getrandbits(32)
+            mig = shannon_upper_bound_mig(spec, 5, db)
+            assert mig.simulate()[0] == spec
+            assert mig.num_gates <= bound
+
+    def test_six_variable_functions(self, db):
+        rng = random.Random(4)
+        base = max(entry.size for entry in db.entries.values())
+        bound = theorem2_bound(6, base_cost=base)
+        for _ in range(4):
+            spec = rng.getrandbits(64)
+            mig = shannon_upper_bound_mig(spec, 6, db)
+            assert mig.simulate()[0] == spec
+            assert mig.num_gates <= bound
+
+    def test_degenerate_function_collapses(self, db):
+        # A 5-var function not depending on x4 costs no Shannon step.
+        spec5 = tt_var(5, 0) & tt_var(5, 1)
+        mig = shannon_upper_bound_mig(spec5, 5, db)
+        assert mig.simulate()[0] == spec5
+        assert mig.num_gates <= 7
+
+    def test_small_n_rejected(self, db):
+        with pytest.raises(ValueError):
+            shannon_upper_bound_mig(0x8, 3, db)
+
+    def test_out_of_range_spec(self, db):
+        with pytest.raises(ValueError):
+            shannon_upper_bound_mig(1 << 32, 5, db)

@@ -1,0 +1,134 @@
+"""Tests for the L(f)/D(f) complexity tables (Table II of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.npn import apply_transform, npn_canonize
+from repro.core.truth_table import tt_mask, tt_var
+from repro.exact.complexity import (
+    cached_length_table,
+    compute_length_table,
+    length_distribution,
+    tree_depth_feasible,
+)
+
+#: Table II of the paper, L(f) columns: L -> (classes, functions).
+PAPER_LENGTH_DIST = {
+    0: (2, 10),
+    1: (2, 80),
+    2: (5, 640),
+    3: (18, 3300),
+    4: (37, 9312),
+    5: (84, 28680),
+    6: (63, 22568),
+    7: (7, 832),
+    8: (2, 80),
+    9: (2, 34),
+}
+
+
+class TestLengthSmall:
+    def test_two_variables(self):
+        table = compute_length_table(2)
+        assert table[0] == 0  # constant
+        assert table[tt_var(2, 0)] == 0
+        assert table[tt_var(2, 0) & tt_var(2, 1)] == 1
+        assert table[tt_var(2, 0) ^ tt_var(2, 1)] == 3
+
+    def test_three_variable_totals(self):
+        table = compute_length_table(3)
+        assert len(table) == 256
+        assert int(table.max()) <= 9
+        # All functions are labeled.
+        assert (table == 255).sum() == 0
+
+    def test_length_is_npn_invariant_3vars(self):
+        table = compute_length_table(3)
+        for f in range(0, 256, 7):
+            rep, t = npn_canonize(f, 3)
+            assert table[f] == table[rep]
+
+
+class TestLengthTable4:
+    """Uses the cached table (computed once, stored in package data)."""
+
+    def test_distribution_matches_paper_exactly(self):
+        assert length_distribution(4) == PAPER_LENGTH_DIST
+
+    def test_all_functions_labeled(self):
+        table = cached_length_table(4)
+        assert (table == 255).sum() == 0
+        assert int(table.max()) == 9
+
+    def test_specific_values(self):
+        table = cached_length_table(4)
+        assert table[0] == 0
+        assert table[tt_mask(4)] == 0
+        assert table[tt_var(4, 0)] == 0
+        assert table[tt_var(4, 0) & tt_var(4, 1)] == 1
+        # 4-input parity has L = 9 (the deepest L row of Table II).
+        parity = tt_var(4, 0) ^ tt_var(4, 1) ^ tt_var(4, 2) ^ tt_var(4, 3)
+        assert table[parity] == 9
+
+    def test_complement_closure(self):
+        table = cached_length_table(4)
+        for f in range(0, 65536, 257):
+            assert table[f] == table[f ^ 0xFFFF]
+
+    def test_rejects_more_than_four_vars(self):
+        with pytest.raises(ValueError):
+            compute_length_table(5)
+
+
+class TestTreeDepth:
+    def test_constants_depth_zero(self):
+        assert tree_depth_feasible(0, 2, 0) is True
+        assert tree_depth_feasible(tt_mask(2), 2, 0) is True
+        assert tree_depth_feasible(tt_var(2, 1), 2, 0) is True
+
+    def test_and_depth_one(self):
+        spec = tt_var(2, 0) & tt_var(2, 1)
+        assert tree_depth_feasible(spec, 2, 0) is False
+        assert tree_depth_feasible(spec, 2, 1) is True
+
+    def test_xor2_depth_two(self):
+        spec = tt_var(2, 0) ^ tt_var(2, 1)
+        assert tree_depth_feasible(spec, 2, 1) is False
+        assert tree_depth_feasible(spec, 2, 2) is True
+
+    def test_xor3_depth_two(self):
+        """3-input parity has tree depth 2 — the Fig. 1 full-adder sum."""
+        spec = tt_var(3, 0) ^ tt_var(3, 1) ^ tt_var(3, 2)
+        assert tree_depth_feasible(spec, 3, 1) is False
+        assert tree_depth_feasible(spec, 3, 2) is True
+
+    def test_xor4_depth_four_feasible(self):
+        parity = tt_var(4, 0) ^ tt_var(4, 1) ^ tt_var(4, 2) ^ tt_var(4, 3)
+        assert tree_depth_feasible(parity, 4, 4, conflict_budget=500000) is True
+
+
+#: Table II of the paper, D(f) columns: D -> (classes, functions).
+PAPER_DEPTH_DIST = {
+    0: (2, 10),
+    1: (2, 80),
+    2: (48, 10260),
+    3: (169, 55184),
+    4: (1, 2),
+}
+
+
+class TestDepthDistribution:
+    def test_distribution_matches_paper_exactly(self):
+        from repro.exact.complexity import depth_distribution
+
+        assert depth_distribution(4) == PAPER_DEPTH_DIST
+
+    def test_parity_is_the_depth4_class(self):
+        from repro.core.npn import npn_representative
+        from repro.exact.complexity import compute_depth_by_class
+
+        by_class = compute_depth_by_class(4)
+        parity = tt_var(4, 0) ^ tt_var(4, 1) ^ tt_var(4, 2) ^ tt_var(4, 3)
+        deepest = [rep for rep, d in by_class.items() if d == 4]
+        assert deepest == [npn_representative(parity, 4)]

@@ -1,0 +1,78 @@
+"""Tests for the heuristic upper-bound synthesizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.truth_table import tt_mask, tt_maj, tt_var
+from repro.exact.heuristic import heuristic_mig, single_gate_functions
+
+
+class TestSingleGateTable:
+    def test_contains_and_or_maj(self):
+        table = single_gate_functions(3)
+        a, b, c = (tt_var(3, i) for i in range(3))
+        assert (a & b) in table
+        assert (a | b) in table
+        assert tt_maj(a, b, c) in table
+
+    def test_excludes_xor(self):
+        table = single_gate_functions(2)
+        assert (tt_var(2, 0) ^ tt_var(2, 1)) not in table
+
+    def test_entries_are_correct(self):
+        """Every table entry must actually evaluate to its key."""
+        from repro.core.mig import Mig
+
+        table = single_gate_functions(3)
+        for tt, operands in table.items():
+            mig = Mig(3)
+            mig.add_po(mig.maj(*operands))
+            assert mig.simulate()[0] == tt
+
+
+class TestCorrectness:
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=80, deadline=None)
+    def test_realizes_spec_4vars(self, spec):
+        mig = heuristic_mig(spec, 4)
+        assert mig.simulate()[0] == spec
+
+    @given(st.integers(min_value=0, max_value=0xFF))
+    @settings(max_examples=40, deadline=None)
+    def test_realizes_spec_3vars(self, spec):
+        mig = heuristic_mig(spec, 3)
+        assert mig.simulate()[0] == spec
+
+    def test_five_variables(self):
+        spec = (tt_var(5, 0) ^ tt_var(5, 1) ^ tt_var(5, 2)) & tt_var(5, 4)
+        mig = heuristic_mig(spec, 5)
+        assert mig.simulate()[0] == spec
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            heuristic_mig(0x10000, 4)
+
+
+class TestQuality:
+    def test_constants_and_literals_are_free(self):
+        assert heuristic_mig(0, 3).num_gates == 0
+        assert heuristic_mig(tt_mask(3), 3).num_gates == 0
+        assert heuristic_mig(tt_var(3, 1), 3).num_gates == 0
+
+    def test_single_gate_functions_get_one_gate(self):
+        a, b, c = (tt_var(3, i) for i in range(3))
+        assert heuristic_mig(a & b, 3).num_gates == 1
+        assert heuristic_mig(tt_maj(a, b, c), 3).num_gates == 1
+
+    def test_xor_uses_xor_decomposition(self):
+        spec = tt_var(4, 0) ^ tt_var(4, 1) ^ tt_var(4, 2) ^ tt_var(4, 3)
+        mig = heuristic_mig(spec, 4)
+        # xor decomposition: 3 gates per level, 3 levels of xor = 9 max.
+        assert mig.num_gates <= 9
+
+    def test_bounded_for_all_3var_functions(self):
+        worst = max(heuristic_mig(f, 3).num_gates for f in range(256))
+        assert worst <= 10

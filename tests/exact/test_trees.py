@@ -1,0 +1,52 @@
+"""Tests for L-optimal tree witness extraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.npn import enumerate_npn_classes
+from repro.core.truth_table import tt_var
+from repro.exact.trees import TreeSynthesizer
+
+
+@pytest.fixture(scope="module")
+def synth() -> TreeSynthesizer:
+    return TreeSynthesizer(4)
+
+
+class TestTreeSynthesis:
+    def test_terminals(self, synth):
+        assert synth.synthesize(0).num_gates == 0
+        assert synth.synthesize(tt_var(4, 2)).num_gates == 0
+
+    def test_and_gate(self, synth):
+        spec = tt_var(4, 0) & tt_var(4, 1)
+        mig = synth.synthesize(spec)
+        assert mig.num_gates == 1
+        assert mig.simulate()[0] == spec
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=60, deadline=None)
+    def test_function_realized_within_length(self, synth, spec):
+        mig = synth.synthesize(spec)
+        assert mig.simulate()[0] == spec
+        assert mig.num_gates <= synth.length_of(spec)
+
+    def test_all_npn_representatives(self, synth):
+        """Every class rep must synthesize correctly within its length."""
+        for rep in enumerate_npn_classes(4):
+            mig = synth.synthesize(rep)
+            assert mig.simulate()[0] == rep
+            assert mig.num_gates <= synth.length_of(rep)
+
+    def test_decompose_rejects_terminals(self, synth):
+        with pytest.raises(ValueError):
+            synth._decompose(0)
+
+    def test_parity_within_nine(self, synth):
+        parity = 0x6996
+        mig = synth.synthesize(parity)
+        assert mig.simulate()[0] == parity
+        assert mig.num_gates <= 9

@@ -1,0 +1,135 @@
+"""Tests for the EPFL arithmetic benchmark generators."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.generators import epfl
+
+
+class TestPaperSignatures:
+    """The full-size instances must have the paper's exact I/O signatures."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["adder", "divisor", "log2", "max", "multiplier", "sine", "square-root", "square"],
+    )
+    def test_io_signature(self, name):
+        (pis, pos), generator, full_kwargs, _ = epfl.SUITE_SPECS[name]
+        mig = generator(**full_kwargs)
+        assert mig.num_pis == pis, name
+        assert mig.num_pos == pos, name
+
+    def test_scaled_suite_generates(self):
+        suite = epfl.arithmetic_suite(full_size=False)
+        assert len(suite) == 8
+        for name, mig in suite.items():
+            assert mig.num_gates > 0, name
+
+
+class TestFunctionalCorrectness:
+    def _word(self, outs, lo, hi):
+        return sum(bit << i for i, bit in enumerate(outs[lo:hi]))
+
+    def _assign(self, mig, values):
+        patterns = [values[name] for name in mig.pi_names]
+        return mig.simulate_patterns(patterns, 1)
+
+    def test_adder(self):
+        mig = epfl.adder(7)
+        rng = random.Random(1)
+        for _ in range(20):
+            a, b = rng.getrandbits(7), rng.getrandbits(7)
+            values = {f"a[{i}]": (a >> i) & 1 for i in range(7)}
+            values.update({f"b[{i}]": (b >> i) & 1 for i in range(7)})
+            outs = self._assign(mig, values)
+            assert self._word(outs, 0, 8) == a + b
+
+    def test_divisor(self):
+        mig = epfl.divisor(5)
+        rng = random.Random(2)
+        for _ in range(20):
+            n, d = rng.getrandbits(5), rng.randint(1, 31)
+            values = {f"n[{i}]": (n >> i) & 1 for i in range(5)}
+            values.update({f"d[{i}]": (d >> i) & 1 for i in range(5)})
+            outs = self._assign(mig, values)
+            assert self._word(outs, 0, 5) == n // d
+            assert self._word(outs, 5, 10) == n % d
+
+    def test_multiplier(self):
+        mig = epfl.multiplier(5)
+        rng = random.Random(3)
+        for _ in range(20):
+            a, b = rng.getrandbits(5), rng.getrandbits(5)
+            values = {f"a[{i}]": (a >> i) & 1 for i in range(5)}
+            values.update({f"b[{i}]": (b >> i) & 1 for i in range(5)})
+            assert self._word(self._assign(mig, values), 0, 10) == a * b
+
+    def test_square(self):
+        mig = epfl.square(5)
+        for a in (0, 1, 7, 21, 31):
+            values = {f"a[{i}]": (a >> i) & 1 for i in range(5)}
+            assert self._word(self._assign(mig, values), 0, 10) == a * a
+
+    def test_square_root(self):
+        mig = epfl.square_root(5)
+        rng = random.Random(4)
+        for _ in range(20):
+            x = rng.getrandbits(10)
+            values = {f"x[{i}]": (x >> i) & 1 for i in range(10)}
+            assert self._word(self._assign(mig, values), 0, 5) == math.isqrt(x)
+
+    def test_max4(self):
+        mig = epfl.max4(5)
+        rng = random.Random(5)
+        for _ in range(20):
+            ws = [rng.getrandbits(5) for _ in range(4)]
+            values = {}
+            for w, c in zip(ws, "abcd"):
+                values.update({f"{c}[{i}]": (w >> i) & 1 for i in range(5)})
+            outs = self._assign(mig, values)
+            assert self._word(outs, 0, 5) == max(ws)
+            idx = outs[5] | (outs[6] << 1)
+            assert ws[idx] == max(ws)
+
+    def test_log2_accuracy(self):
+        mig = epfl.log2(10)
+        frac_bits = 10 - 4
+        rng = random.Random(6)
+        for _ in range(10):
+            x = rng.randint(1, 1023)
+            values = {f"x[{i}]": (x >> i) & 1 for i in range(10)}
+            outs = self._assign(mig, values)
+            approx = self._word(outs, 0, 10) / (1 << frac_bits)
+            assert abs(approx - math.log2(x)) < 0.05
+
+    def test_sine_accuracy(self):
+        mig = epfl.sine(10)
+        rng = random.Random(7)
+        for _ in range(10):
+            a = rng.getrandbits(10)
+            theta = a * (math.pi / 2) / 1024
+            values = {f"a[{i}]": (a >> i) & 1 for i in range(10)}
+            outs = self._assign(mig, values)
+            got = sum(bit << i for i, bit in enumerate(outs[:11])) / (1 << 9)
+            assert abs(got - math.sin(theta)) < 0.02
+
+
+class TestStructuralShape:
+    def test_depth_grows_with_width(self):
+        shallow = epfl.adder(8)
+        deep = epfl.adder(16)
+        assert deep.depth() > shallow.depth()
+
+    def test_divisor_is_quadratic_ish(self):
+        small = epfl.divisor(4)
+        large = epfl.divisor(8)
+        assert large.num_gates > 3 * small.num_gates
+
+    def test_names_are_distinct(self):
+        suite = epfl.arithmetic_suite(full_size=False)
+        names = [m.name for m in suite.values()]
+        assert len(set(names)) == 8

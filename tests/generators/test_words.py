@@ -1,0 +1,211 @@
+"""Property-based tests for the word-level circuit builders."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mig import Mig
+from repro.generators.words import WordBuilder
+
+WIDTH = 6
+MASK = (1 << WIDTH) - 1
+
+
+def evaluate(mig: Mig, assignment: dict[str, int]) -> list[int]:
+    patterns = [assignment[name] for name in mig.pi_names]
+    return mig.simulate_patterns(patterns, 1)
+
+
+def word_value(bits: list[int]) -> int:
+    return sum(bit << i for i, bit in enumerate(bits))
+
+
+def bits_of(value: int, width: int) -> dict[str, int]:
+    return {i: (value >> i) & 1 for i in range(width)}
+
+
+def make_two_input_circuit(op):
+    mig = Mig()
+    words = WordBuilder(mig)
+    a = words.input_word(WIDTH, "a")
+    b = words.input_word(WIDTH, "b")
+    op(mig, words, a, b)
+    return mig
+
+
+values = st.integers(min_value=0, max_value=MASK)
+
+
+class TestAddSub:
+    @given(values, values)
+    @settings(max_examples=40, deadline=None)
+    def test_add(self, va, vb):
+        def build(mig, words, a, b):
+            total, carry = words.add(a, b)
+            for s in total:
+                mig.add_po(s)
+            mig.add_po(carry)
+
+        mig = make_two_input_circuit(build)
+        assignment = {f"a[{i}]": (va >> i) & 1 for i in range(WIDTH)}
+        assignment.update({f"b[{i}]": (vb >> i) & 1 for i in range(WIDTH)})
+        outs = evaluate(mig, assignment)
+        assert word_value(outs) == va + vb
+
+    @given(values, values)
+    @settings(max_examples=40, deadline=None)
+    def test_sub_and_geq(self, va, vb):
+        def build(mig, words, a, b):
+            diff, no_borrow = words.sub(a, b)
+            for s in diff:
+                mig.add_po(s)
+            mig.add_po(no_borrow)
+            mig.add_po(words.geq(a, b))
+
+        mig = make_two_input_circuit(build)
+        assignment = {f"a[{i}]": (va >> i) & 1 for i in range(WIDTH)}
+        assignment.update({f"b[{i}]": (vb >> i) & 1 for i in range(WIDTH)})
+        outs = evaluate(mig, assignment)
+        assert word_value(outs[:WIDTH]) == (va - vb) & MASK
+        assert outs[WIDTH] == (1 if va >= vb else 0)
+        assert outs[WIDTH + 1] == (1 if va >= vb else 0)
+
+    @given(values, values, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_add_sub_conditional(self, va, vb, subtract):
+        mig = Mig()
+        words = WordBuilder(mig)
+        a = words.input_word(WIDTH, "a")
+        b = words.input_word(WIDTH, "b")
+        sel = mig.add_pi("sel")
+        out, _ = words.add_sub(a, b, sel)
+        for s in out:
+            mig.add_po(s)
+        assignment = {f"a[{i}]": (va >> i) & 1 for i in range(WIDTH)}
+        assignment.update({f"b[{i}]": (vb >> i) & 1 for i in range(WIDTH)})
+        assignment["sel"] = int(subtract)
+        outs = evaluate(mig, assignment)
+        expected = (va - vb) & MASK if subtract else (va + vb) & MASK
+        assert word_value(outs) == expected
+
+
+class TestMultiplyDivide:
+    @given(values, values)
+    @settings(max_examples=30, deadline=None)
+    def test_multiply(self, va, vb):
+        def build(mig, words, a, b):
+            for s in words.multiply(a, b):
+                mig.add_po(s)
+
+        mig = make_two_input_circuit(build)
+        assignment = {f"a[{i}]": (va >> i) & 1 for i in range(WIDTH)}
+        assignment.update({f"b[{i}]": (vb >> i) & 1 for i in range(WIDTH)})
+        assert word_value(evaluate(mig, assignment)) == va * vb
+
+    @given(values)
+    @settings(max_examples=30, deadline=None)
+    def test_square(self, va):
+        mig = Mig()
+        words = WordBuilder(mig)
+        a = words.input_word(WIDTH, "a")
+        for s in words.square(a):
+            mig.add_po(s)
+        assignment = {f"a[{i}]": (va >> i) & 1 for i in range(WIDTH)}
+        assert word_value(evaluate(mig, assignment)) == va * va
+
+    @given(values, st.integers(min_value=1, max_value=MASK))
+    @settings(max_examples=30, deadline=None)
+    def test_divide(self, vn, vd):
+        def build(mig, words, a, b):
+            q, r = words.divide(a, b)
+            for s in q + r:
+                mig.add_po(s)
+
+        mig = make_two_input_circuit(build)
+        assignment = {f"a[{i}]": (vn >> i) & 1 for i in range(WIDTH)}
+        assignment.update({f"b[{i}]": (vd >> i) & 1 for i in range(WIDTH)})
+        outs = evaluate(mig, assignment)
+        assert word_value(outs[:WIDTH]) == vn // vd
+        assert word_value(outs[WIDTH:]) == vn % vd
+
+    @given(st.integers(min_value=0, max_value=(1 << (2 * WIDTH)) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_isqrt(self, vx):
+        mig = Mig()
+        words = WordBuilder(mig)
+        x = words.input_word(2 * WIDTH, "x")
+        for s in words.isqrt(x):
+            mig.add_po(s)
+        assignment = {f"x[{i}]": (vx >> i) & 1 for i in range(2 * WIDTH)}
+        assert word_value(evaluate(mig, assignment)) == math.isqrt(vx)
+
+    def test_isqrt_rejects_odd_width(self):
+        mig = Mig()
+        words = WordBuilder(mig)
+        x = words.input_word(5, "x")
+        with pytest.raises(ValueError):
+            words.isqrt(x)
+
+
+class TestSelection:
+    @given(values, values)
+    @settings(max_examples=30, deadline=None)
+    def test_max_word(self, va, vb):
+        def build(mig, words, a, b):
+            best, a_wins = words.max_word(a, b)
+            for s in best:
+                mig.add_po(s)
+            mig.add_po(a_wins)
+
+        mig = make_two_input_circuit(build)
+        assignment = {f"a[{i}]": (va >> i) & 1 for i in range(WIDTH)}
+        assignment.update({f"b[{i}]": (vb >> i) & 1 for i in range(WIDTH)})
+        outs = evaluate(mig, assignment)
+        assert word_value(outs[:WIDTH]) == max(va, vb)
+        assert outs[WIDTH] == (1 if va >= vb else 0)
+
+    @given(values, values)
+    @settings(max_examples=20, deadline=None)
+    def test_equal(self, va, vb):
+        def build(mig, words, a, b):
+            mig.add_po(words.equal(a, b))
+
+        mig = make_two_input_circuit(build)
+        assignment = {f"a[{i}]": (va >> i) & 1 for i in range(WIDTH)}
+        assignment.update({f"b[{i}]": (vb >> i) & 1 for i in range(WIDTH)})
+        assert evaluate(mig, assignment)[0] == (1 if va == vb else 0)
+
+
+class TestShifts:
+    def test_constant_shifts(self):
+        mig = Mig()
+        words = WordBuilder(mig)
+        a = words.input_word(WIDTH, "a")
+        left = words.shift_left_const(a, 2)
+        right = words.shift_right_const(a, 2)
+        for s in left + right:
+            mig.add_po(s)
+        value = 0b101101 & MASK
+        assignment = {f"a[{i}]": (value >> i) & 1 for i in range(WIDTH)}
+        outs = evaluate(mig, assignment)
+        assert word_value(outs[:WIDTH]) == (value << 2) & MASK
+        assert word_value(outs[WIDTH:]) == value >> 2
+
+    def test_constant_word(self):
+        mig = Mig()
+        words = WordBuilder(mig)
+        assert word_value([b & 1 for b in words.constant_word(37, 8)]) == 37
+
+    def test_width_mismatch_rejected(self):
+        mig = Mig()
+        words = WordBuilder(mig)
+        a = words.input_word(4, "a")
+        b = words.input_word(5, "b")
+        with pytest.raises(ValueError):
+            words.add(a, b)
+        with pytest.raises(ValueError):
+            words.geq(a, b)

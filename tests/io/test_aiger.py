@@ -1,0 +1,96 @@
+"""Tests for AIGER reading and writing."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.convert import mig_to_aig
+from repro.io.aiger import read_aag, read_aig_binary, write_aag, write_aig_binary
+
+
+def sample_aig() -> Aig:
+    aig = Aig(3)
+    a, b, c = aig.pi_signals()
+    aig.add_po(aig.xor(aig.and_(a, b), c), "f")
+    aig.add_po(aig.or_(a, c), "g")
+    return aig
+
+
+class TestAsciiRoundtrip:
+    def test_roundtrip(self):
+        aig = sample_aig()
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        buf.seek(0)
+        back = read_aag(buf)
+        assert back.simulate() == aig.simulate()
+        assert back.pi_names == aig.pi_names
+        assert back.output_names == aig.output_names
+
+    def test_header_shape(self):
+        aig = sample_aig()
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        header = buf.getvalue().splitlines()[0].split()
+        assert header[0] == "aag"
+        assert int(header[2]) == 3  # inputs
+        assert int(header[3]) == 0  # latches
+        assert int(header[4]) == 2  # outputs
+
+    def test_mig_converted_roundtrip(self, full_adder):
+        aig = mig_to_aig(full_adder)
+        buf = io.StringIO()
+        write_aag(aig, buf)
+        buf.seek(0)
+        assert read_aag(buf).simulate() == aig.simulate()
+
+    def test_latches_rejected(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("aag 1 0 1 0 0\n2 3\n"))
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_aag(io.StringIO("xag 1 1 0 0 0\n"))
+
+
+class TestBinaryRoundtrip:
+    def test_roundtrip(self):
+        aig = sample_aig()
+        buf = io.BytesIO()
+        write_aig_binary(aig, buf)
+        buf.seek(0)
+        back = read_aig_binary(buf)
+        assert back.simulate() == aig.simulate()
+
+    def test_binary_smaller_than_ascii(self):
+        from repro.generators import epfl
+
+        aig = mig_to_aig(epfl.adder(16))
+        text_buf = io.StringIO()
+        write_aag(aig, text_buf)
+        bin_buf = io.BytesIO()
+        write_aig_binary(aig, bin_buf)
+        assert len(bin_buf.getvalue()) < len(text_buf.getvalue().encode())
+
+    def test_truncated_input_rejected(self):
+        # Header declares one AND gate but the delta bytes are missing.
+        data = b"aig 3 2 0 1 1\n6\n"
+        with pytest.raises(ValueError):
+            read_aig_binary(io.BytesIO(data))
+
+    def test_large_delta_encoding(self):
+        """Deltas above 127 need the multi-byte varint path."""
+        aig = Aig(100)
+        sigs = aig.pi_signals()
+        acc = aig.and_(sigs[0], sigs[99])
+        aig.add_po(acc)
+        buf = io.BytesIO()
+        write_aig_binary(aig, buf)
+        buf.seek(0)
+        back = read_aig_binary(buf)
+        assert back.num_gates == 1
+        gate = next(iter(back.gates()))
+        assert {s >> 1 for s in back.fanins(gate)} == {1, 100}

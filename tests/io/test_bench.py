@@ -1,0 +1,102 @@
+"""Tests for ISCAS .bench reading and writing."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.simulate import check_equivalence
+from repro.core.truth_table import tt_mask, tt_var
+from repro.io.bench import read_bench, write_bench
+
+
+class TestReader:
+    def test_basic_gates(self):
+        text = """\
+# comment
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+OUTPUT(g)
+t1 = AND(a, b)
+t2 = NOT(c)
+f = OR(t1, t2)
+g = XOR(a, b)
+"""
+        mig = read_bench(io.StringIO(text))
+        assert mig.num_pis == 3 and mig.num_pos == 2
+        va, vb, vc = (tt_var(3, i) for i in range(3))
+        f_tt, g_tt = mig.simulate()
+        assert f_tt == (va & vb) | (vc ^ tt_mask(3))
+        assert g_tt == va ^ vb
+
+    def test_multi_input_gates(self):
+        text = (
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(f)\n"
+            "f = NAND(a, b, c, d)\n"
+        )
+        mig = read_bench(io.StringIO(text))
+        expected = tt_mask(4)
+        for i in range(4):
+            expected &= tt_var(4, i)
+        assert mig.simulate()[0] == expected ^ tt_mask(4)
+
+    def test_nor_xnor_buf(self):
+        text = (
+            "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nOUTPUT(g)\nOUTPUT(h)\n"
+            "f = NOR(a, b)\ng = XNOR(a, b)\nh = BUFF(a)\n"
+        )
+        mig = read_bench(io.StringIO(text))
+        va, vb = tt_var(2, 0), tt_var(2, 1)
+        f_tt, g_tt, h_tt = mig.simulate()
+        assert f_tt == (va | vb) ^ tt_mask(2)
+        assert g_tt == (va ^ vb) ^ tt_mask(2)
+        assert h_tt == va
+
+    def test_maj_extension(self):
+        text = (
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(f)\nf = MAJ(a, b, c)\n"
+        )
+        mig = read_bench(io.StringIO(text))
+        assert mig.num_gates == 1
+
+    def test_undriven_rejected(self):
+        with pytest.raises(ValueError):
+            read_bench(io.StringIO("INPUT(a)\nOUTPUT(f)\n"))
+
+    def test_unsupported_gate_rejected(self):
+        text = "INPUT(a)\nOUTPUT(f)\nf = DFF(a)\n"
+        with pytest.raises(ValueError):
+            read_bench(io.StringIO(text))
+
+
+class TestRoundtrip:
+    def test_full_adder_roundtrip(self, full_adder):
+        buf = io.StringIO()
+        write_bench(full_adder, buf)
+        buf.seek(0)
+        back = read_bench(buf)
+        assert back.pi_names == full_adder.pi_names
+        assert check_equivalence(full_adder, back)
+
+    def test_suite_roundtrips(self, suite_small):
+        for mig in suite_small[:3]:
+            buf = io.StringIO()
+            write_bench(mig, buf)
+            buf.seek(0)
+            back = read_bench(buf)
+            assert check_equivalence(mig, back), mig.name
+
+    def test_constant_use(self):
+        from repro.core.mig import CONST0, Mig
+
+        mig = Mig(2)
+        a, b = mig.pi_signals()
+        mig.add_po(mig.maj(CONST0, a, b), "f")
+        buf = io.StringIO()
+        write_bench(mig, buf)
+        assert "CONST0()" in buf.getvalue()
+        buf.seek(0)
+        assert check_equivalence(mig, read_bench(buf))

@@ -1,0 +1,53 @@
+"""Tests for the Verilog writer."""
+
+from __future__ import annotations
+
+import io
+import re
+
+from repro.io.verilog import write_verilog
+
+
+class TestVerilogWriter:
+    def test_full_adder_structure(self, full_adder):
+        buf = io.StringIO()
+        write_verilog(full_adder, buf)
+        text = buf.getvalue()
+        assert text.startswith("module full_adder(")
+        assert "endmodule" in text
+        assert text.count("assign") == full_adder.num_gates + full_adder.num_pos
+        # majority gates appear as sum-of-pairs
+        assert re.search(r"\(\S+ & \S+\) \| \(\S+ & \S+\) \| \(\S+ & \S+\)", text)
+
+    def test_ports_declared(self, full_adder):
+        buf = io.StringIO()
+        write_verilog(full_adder, buf)
+        text = buf.getvalue()
+        assert re.search(r"input .*x0.*x1.*x2", text)
+        assert re.search(r"output .*s.*cout", text)
+
+    def test_custom_module_name(self, full_adder):
+        buf = io.StringIO()
+        write_verilog(full_adder, buf, module_name="fa1")
+        assert buf.getvalue().startswith("module fa1(")
+
+    def test_escaped_names(self):
+        from repro.core.mig import Mig
+
+        mig = Mig()
+        a = mig.add_pi("a[0]")
+        mig.add_po(a, "y[0]")
+        buf = io.StringIO()
+        write_verilog(mig, buf)
+        assert "\\a[0] " in buf.getvalue()
+
+    def test_constant_output(self):
+        from repro.core.mig import CONST0, Mig
+
+        mig = Mig(1)
+        mig.add_po(CONST0, "zero")
+        mig.add_po(1, "one")  # complemented constant
+        buf = io.StringIO()
+        write_verilog(mig, buf)
+        text = buf.getvalue()
+        assert "1'b0" in text and "1'b1" in text

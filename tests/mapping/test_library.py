@@ -1,0 +1,50 @@
+"""Tests for the standard-cell library and NPN matching."""
+
+from __future__ import annotations
+
+from repro.core.truth_table import tt_extend, tt_maj, tt_not, tt_var
+from repro.mapping.library import Cell, CellLibrary, default_library
+
+
+class TestDefaultLibrary:
+    def test_nonempty(self):
+        lib = default_library()
+        assert len(lib) >= 15
+
+    def test_matches_basic_functions(self):
+        lib = default_library()
+        a, b = tt_var(4, 0), tt_var(4, 1)
+        c = tt_var(4, 2)
+        assert lib.match(tt_extend(a & b, 4, 4)) is not None  # AND via nand2 class
+        assert lib.match(a | b) is not None
+        assert lib.match(a ^ b) is not None
+        assert lib.match(tt_maj(a, b, c)) is not None
+
+    def test_inverter_free_matching(self):
+        """NPN matching folds input/output inverters into the class."""
+        lib = default_library()
+        a, b = tt_var(4, 0), tt_var(4, 1)
+        nand = tt_not(a & b, 4)
+        cell_and = lib.match(a & b)
+        cell_nand = lib.match(nand)
+        assert cell_and is not None and cell_nand is not None
+        assert cell_and.name == cell_nand.name  # same NPN class
+
+    def test_no_match_for_hard_function(self):
+        lib = default_library()
+        # 0x1668 is not in the small library's class set.
+        assert lib.match(0x1668) is None or lib.match(0x1668).num_inputs == 4
+
+
+class TestCustomLibrary:
+    def test_cheapest_cell_wins_class(self):
+        a, b = tt_var(2, 0), tt_var(2, 1)
+        lib = CellLibrary(
+            [
+                Cell("big_and", 2, a & b, 5.0),
+                Cell("small_and", 2, a & b, 2.0),
+            ],
+            match_vars=2,
+        )
+        cell = lib.match(a & b)
+        assert cell is not None and cell.name == "small_and"

@@ -1,0 +1,129 @@
+"""Brute-force verification of the Ω axioms and the depth-aware builder."""
+
+from __future__ import annotations
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mig import CONST0, Mig, signal_not
+from repro.opt.algebraic import LevelBuilder, depth_aware_maj
+
+
+def maj(x: int, y: int, z: int) -> int:
+    return (x & y) | (x & z) | (y & z)
+
+
+class TestAxiomsByBruteForce:
+    """Verify the identities used by the optimizer over all assignments."""
+
+    def test_associativity(self):
+        # <x u <y u z>> = <z u <y u x>>
+        for x, u, y, z in product((0, 1), repeat=4):
+            lhs = maj(x, u, maj(y, u, z))
+            rhs = maj(z, u, maj(y, u, x))
+            assert lhs == rhs
+
+    def test_complementary_associativity(self):
+        # <x u <y u' z>> = <x u <y x z>>
+        for x, u, y, z in product((0, 1), repeat=4):
+            lhs = maj(x, u, maj(y, 1 - u, z))
+            rhs = maj(x, u, maj(y, x, z))
+            assert lhs == rhs
+
+    def test_distributivity(self):
+        # <x y <u v z>> = <<x y u> <x y v> z>
+        for x, y, u, v, z in product((0, 1), repeat=5):
+            lhs = maj(x, y, maj(u, v, z))
+            rhs = maj(maj(x, y, u), maj(x, y, v), z)
+            assert lhs == rhs
+
+    def test_majority_rules(self):
+        for x, y in product((0, 1), repeat=2):
+            assert maj(x, x, y) == x
+            assert maj(x, 1 - x, y) == y
+
+    def test_self_duality(self):
+        for x, y, z in product((0, 1), repeat=3):
+            assert maj(1 - x, 1 - y, 1 - z) == 1 - maj(x, y, z)
+
+
+@st.composite
+def mig_with_signals(draw):
+    mig = Mig(4)
+    builder = LevelBuilder(mig)
+    signals = [CONST0] + mig.pi_signals()
+    for _ in range(draw(st.integers(1, 8))):
+        picks = draw(
+            st.lists(
+                st.tuples(st.integers(0, len(signals) - 1), st.booleans()),
+                min_size=3,
+                max_size=3,
+            )
+        )
+        ops = [signals[i] ^ int(c) for i, c in picks]
+        signals.append(builder.maj(*ops))
+    triple = draw(
+        st.lists(
+            st.tuples(st.integers(0, len(signals) - 1), st.booleans()),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    ops = [signals[i] ^ int(c) for i, c in triple]
+    return mig, builder, ops
+
+
+class TestDepthAwareMaj:
+    @given(mig_with_signals())
+    @settings(max_examples=80, deadline=None)
+    def test_transformed_construction_is_equivalent(self, data):
+        mig, builder, (a, b, c) = data
+        reference = Mig(4)
+        ref_builder = LevelBuilder(reference)
+        # Mirror the gate structure into the reference network plainly.
+        mapping = {0: 0}
+        for i in range(1, 5):
+            mapping[i] = 2 * i
+        for node in mig.gates():
+            fa, fb, fc = mig.fanins(node)
+            mapping[node] = reference.maj(
+                mapping[fa >> 1] ^ (fa & 1),
+                mapping[fb >> 1] ^ (fb & 1),
+                mapping[fc >> 1] ^ (fc & 1),
+            )
+
+        def remap(s: int) -> int:
+            return mapping[s >> 1] ^ (s & 1)
+
+        plain = reference.maj(remap(a), remap(b), remap(c))
+        clever = depth_aware_maj(builder, a, b, c)
+        reference.add_po(plain)
+        mig.add_po(clever)
+        assert mig.simulate() == reference.simulate()
+
+    @given(mig_with_signals())
+    @settings(max_examples=40, deadline=None)
+    def test_level_estimates_never_worse_than_plain(self, data):
+        mig, builder, (a, b, c) = data
+        lv = builder.level_of
+        plain_level = 1 + max(lv(a), lv(b), lv(c))
+        result = depth_aware_maj(builder, a, b, c)
+        assert builder.level_of(result) <= plain_level
+
+
+class TestLevelBuilder:
+    def test_levels_track_construction(self):
+        mig = Mig(2)
+        builder = LevelBuilder(mig)
+        a, b = mig.pi_signals()
+        g1 = builder.maj(CONST0, a, b)
+        g2 = builder.maj(g1, a, signal_not(b))
+        assert builder.level_of(a) == 0
+        assert builder.level_of(g1) == 1
+        assert builder.level_of(g2) == 2
+
+    def test_prebuilt_gates_initialized(self, full_adder):
+        builder = LevelBuilder(full_adder)
+        assert builder.level_of(full_adder.outputs[0]) == 2

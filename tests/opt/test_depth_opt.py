@@ -1,0 +1,36 @@
+"""Tests for algebraic depth optimization (the refs [3]/[4] baseline flow)."""
+
+from __future__ import annotations
+
+from repro.core.simulate import check_equivalence
+from repro.generators import epfl
+from repro.opt.depth_opt import optimize_depth
+
+
+class TestDepthOptimization:
+    def test_preserves_function_on_suite(self, suite_small):
+        for mig in suite_small[:5]:
+            optimized = optimize_depth(mig)
+            assert check_equivalence(mig, optimized), mig.name
+
+    def test_reduces_ripple_adder_depth(self):
+        """The classic MIG result: carry chains flatten substantially."""
+        mig = epfl.adder(16)
+        optimized = optimize_depth(mig)
+        assert check_equivalence(mig, optimized)
+        assert optimized.depth() < mig.depth()
+
+    def test_depth_never_increases(self, suite_small):
+        for mig in suite_small[:5]:
+            optimized = optimize_depth(mig)
+            assert optimized.depth() <= mig.depth(), mig.name
+
+    def test_size_neutral_mode(self):
+        mig = epfl.adder(12)
+        optimized = optimize_depth(mig, allow_size_increase=False)
+        assert check_equivalence(mig, optimized)
+        assert optimized.depth() <= mig.depth()
+
+    def test_rounds_zero_is_identity(self):
+        mig = epfl.adder(8)
+        assert optimize_depth(mig, rounds=0) is mig

@@ -1,0 +1,69 @@
+"""Tests for scripted optimization flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simulate import check_equivalence
+from repro.generators import epfl
+from repro.opt.flow import optimize_until_convergence, run_flow
+
+
+class TestRunFlow:
+    def test_basic_script(self, db):
+        mig = epfl.square_root(6)
+        result, history = run_flow(mig, db, ["depth", "BF", "TFD"])
+        assert check_equivalence(mig, result)
+        assert len(history) == 3
+        assert history[0].step == "depth"
+        assert history[-1].size_after == result.num_gates
+
+    def test_history_chains(self, db):
+        mig = epfl.multiplier(4)
+        _, history = run_flow(mig, db, ["strash", "TF", "strash"])
+        for prev, nxt in zip(history, history[1:]):
+            assert prev.size_after == nxt.size_before
+            assert prev.depth_after == nxt.depth_before
+
+    def test_variant_step_without_db_rejected(self):
+        mig = epfl.adder(4)
+        with pytest.raises(ValueError):
+            run_flow(mig, None, ["BF"])
+
+    def test_unknown_step_rejected(self, db):
+        mig = epfl.adder(4)
+        with pytest.raises(ValueError):
+            run_flow(mig, db, ["resyn2"])
+
+    def test_depth_fast_is_size_neutral_or_better(self, db):
+        mig = epfl.adder(12)
+        result, _ = run_flow(mig, db, ["depth-fast"])
+        assert check_equivalence(mig, result)
+        assert result.num_gates <= mig.num_gates + 2
+
+    def test_fraig_step(self, db):
+        mig = epfl.sine(6)
+        result, _ = run_flow(mig, db, ["fraig"])
+        assert check_equivalence(mig, result)
+
+    def test_case_insensitive_variants(self, db):
+        mig = epfl.square(4)
+        result, _ = run_flow(mig, db, ["bf"])
+        assert check_equivalence(mig, result)
+
+
+class TestConvergence:
+    def test_converges_and_never_grows(self, db):
+        mig = epfl.log2(7)
+        converged, passes = optimize_until_convergence(mig, db, "BF", max_passes=5)
+        assert check_equivalence(mig, converged)
+        assert converged.num_gates <= mig.num_gates
+        assert 0 <= passes <= 5
+
+    def test_additional_pass_after_convergence_is_idle(self, db):
+        mig = epfl.square_root(6)
+        converged, _ = optimize_until_convergence(mig, db, "TF", max_passes=6)
+        from repro.rewriting import functional_hashing
+
+        again = functional_hashing(converged, db, "TF")
+        assert again.num_gates >= converged.num_gates

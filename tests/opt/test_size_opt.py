@@ -1,0 +1,77 @@
+"""Tests for size-cleanup passes (strash rebuild, functional reduction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mig import CONST0, Mig, signal_not
+from repro.core.simulate import check_equivalence
+from repro.opt.size_opt import functional_reduce, strash_rebuild
+
+
+def network_with_functional_duplicates() -> Mig:
+    """Two structurally different, functionally identical xor cones."""
+    mig = Mig(3)
+    a, b, c = mig.pi_signals()
+    # xor as (a|b) & !(a&b) — the Mig.xor construction.
+    x1 = mig.xor(a, b)
+    # xor as (a & !b) | (!a & b) — structurally disjoint decomposition.
+    x2 = mig.or_(
+        mig.and_(a, signal_not(b)), mig.and_(signal_not(a), b)
+    )
+    mig.add_po(mig.and_(x1, c))
+    mig.add_po(mig.or_(x2, c))
+    return mig
+
+
+class TestStrashRebuild:
+    def test_removes_dead_gates(self):
+        mig = Mig(2)
+        a, b = mig.pi_signals()
+        keep = mig.and_(a, b)
+        mig.or_(a, b)  # dead
+        mig.add_po(keep)
+        rebuilt = strash_rebuild(mig)
+        assert rebuilt.num_gates == 1
+        assert check_equivalence(mig, rebuilt)
+
+
+class TestFunctionalReduce:
+    def test_merges_equivalent_cones(self):
+        mig = network_with_functional_duplicates()
+        reduced = functional_reduce(mig)
+        assert check_equivalence(mig, reduced)
+        assert reduced.num_gates < mig.num_gates
+
+    def test_merges_antivalent_cones(self):
+        mig = Mig(2)
+        a, b = mig.pi_signals()
+        f = mig.and_(a, b)
+        g = mig.or_(signal_not(a), signal_not(b))  # = !(a & b)
+        mig.add_po(f)
+        mig.add_po(g)
+        reduced = functional_reduce(mig)
+        assert check_equivalence(mig, reduced)
+        assert reduced.num_gates == 1
+
+    def test_detects_constant_cones(self):
+        mig = Mig(2)
+        a, b = mig.pi_signals()
+        tautology = mig.or_(mig.or_(a, b), mig.and_(signal_not(a), signal_not(b)))
+        mig.add_po(tautology)
+        reduced = functional_reduce(mig)
+        assert check_equivalence(mig, reduced)
+
+    def test_preserves_function_on_suite(self, suite_small):
+        for mig in suite_small:
+            if mig.num_pis > 14:
+                continue  # exhaustive simulation limit
+            reduced = functional_reduce(mig)
+            assert check_equivalence(mig, reduced), mig.name
+            assert reduced.num_gates <= mig.num_gates
+
+    def test_wide_networks_rejected(self):
+        mig = Mig(15)
+        mig.add_po(CONST0)
+        with pytest.raises(ValueError):
+            functional_reduce(mig)

@@ -1,0 +1,74 @@
+"""Tests for the on-demand 5/6-input database (ref. [9] extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.mig import Mig
+from repro.core.simulate import check_equivalence
+from repro.generators import epfl
+from repro.rewriting import functional_hashing
+from repro.rewriting.dynamic_db import DynamicDatabase
+
+
+class TestDynamicLookup:
+    def test_rebuild_matches_function(self):
+        db5 = DynamicDatabase(num_vars=5)
+        rng = random.Random(31)
+        for _ in range(15):
+            tt = rng.getrandbits(32)
+            mig = Mig(5)
+            mig.add_po(db5.rebuild(mig, tt, mig.pi_signals()))
+            assert mig.simulate()[0] == tt, hex(tt)
+
+    def test_cache_hits_on_npn_equivalent_functions(self):
+        db5 = DynamicDatabase(num_vars=5)
+        from repro.core.truth_table import tt_not, tt_permute
+
+        f = random.Random(1).getrandbits(32)
+        db5.size_of(f)
+        misses = db5.misses
+        db5.size_of(tt_not(f, 5))                        # complement
+        db5.size_of(tt_permute(f, (4, 3, 2, 1, 0), 5))   # permutation
+        assert db5.misses == misses  # same class: no new synthesis
+        assert db5.hits >= 2
+
+    def test_lru_eviction(self):
+        db5 = DynamicDatabase(num_vars=5, max_entries=4)
+        rng = random.Random(9)
+        for _ in range(12):
+            db5.size_of(rng.getrandbits(32))
+        assert len(db5._lru) <= 4
+
+    def test_never_complete(self):
+        assert not DynamicDatabase(num_vars=5).complete
+
+    def test_arity_bounds(self):
+        with pytest.raises(ValueError):
+            DynamicDatabase(num_vars=3)
+        with pytest.raises(ValueError):
+            DynamicDatabase(num_vars=7)
+
+    def test_improve_budget_tightens_or_matches(self):
+        plain = DynamicDatabase(num_vars=5)
+        improved = DynamicDatabase(num_vars=5, improve_budget=5000)
+        f = 0x96696996  # some 5-var parity-flavored function
+        assert improved.size_of(f) <= plain.size_of(f)
+
+
+class TestFiveInputRewriting:
+    def test_rewrites_with_5_cuts(self):
+        db5 = DynamicDatabase(num_vars=5)
+        mig = epfl.square_root(6)
+        out = functional_hashing(mig, db5, "TF", cut_size=5)
+        assert check_equivalence(mig, out)
+        assert out.num_gates <= mig.num_gates
+
+    def test_bottom_up_with_5_cuts(self):
+        db5 = DynamicDatabase(num_vars=5)
+        mig = epfl.sine(6)
+        out = functional_hashing(mig, db5, "BF", cut_size=5)
+        assert check_equivalence(mig, out)
+        assert out.num_gates <= mig.num_gates

@@ -1,0 +1,48 @@
+"""Tests for DIMACS reading and writing."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.sat.dimacs import load_into_solver, parse_dimacs, write_dimacs
+
+
+class TestRoundtrip:
+    def test_write_then_parse(self):
+        clauses = [[1, -2], [2, 3], [-1, -3]]
+        buf = io.StringIO()
+        write_dimacs(3, clauses, buf)
+        buf.seek(0)
+        num_vars, parsed = parse_dimacs(buf)
+        assert num_vars == 3
+        assert parsed == clauses
+
+    def test_load_into_solver(self):
+        buf = io.StringIO("p cnf 2 2\n1 2 0\n-1 0\n")
+        solver = load_into_solver(buf)
+        assert solver.solve() is True
+        assert solver.model_value(2)
+        assert not solver.model_value(1)
+
+
+class TestParsing:
+    def test_comments_and_blank_lines(self):
+        text = "c a comment\n\np cnf 2 1\nc another\n1 -2 0\n"
+        num_vars, clauses = parse_dimacs(io.StringIO(text))
+        assert num_vars == 2
+        assert clauses == [[1, -2]]
+
+    def test_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        _, clauses = parse_dimacs(io.StringIO(text))
+        assert clauses == [[1, 2, 3]]
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(ValueError):
+            parse_dimacs(io.StringIO("p cnf 2 2\n1 0\n"))
+
+    def test_malformed_header(self):
+        with pytest.raises(ValueError):
+            parse_dimacs(io.StringIO("p dnf 2 1\n1 0\n"))

@@ -1,0 +1,93 @@
+"""Incremental-use regression tests for the SAT solver.
+
+The fraig pass exposed a soundness bug: a solve that returned
+UNSAT-under-assumptions used to leave the assumption trail in place, so a
+following ``add_clause`` could propagate at a stale level and poison the
+solver into permanent UNSAT.  These tests pin the fixed behavior:
+interleaved clause addition and assumption solving must always agree with
+a fresh-solver ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.solver import Solver
+
+
+def brute(num_vars: int, clauses: list[list[int]], assumps: list[int]) -> bool:
+    for bits in range(1 << num_vars):
+        if all(
+            any((bits >> (abs(l) - 1)) & 1 == (1 if l > 0 else 0) for l in cl)
+            for cl in clauses
+        ) and all((bits >> (abs(l) - 1)) & 1 == (1 if l > 0 else 0) for l in assumps):
+            return True
+    return False
+
+
+class TestInterleavedUse:
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_incremental_sessions(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(4, 8)
+        solver = Solver()
+        solver.new_vars(n)
+        clauses: list[list[int]] = []
+        for _ in range(rng.randint(2, 5)):
+            for _ in range(rng.randint(1, 7)):
+                clause = [
+                    v if rng.random() < 0.5 else -v
+                    for v in rng.sample(range(1, n + 1), rng.randint(1, 3))
+                ]
+                clauses.append(clause)
+                solver.add_clause(clause)
+            assumps = [
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, n + 1), rng.randint(0, 3))
+            ]
+            got = solver.solve(assumptions=assumps)
+            assert got == brute(n, clauses, assumps)
+            if got:
+                for clause in clauses:
+                    assert any(solver.model_value(l) for l in clause)
+                for lit in assumps:
+                    assert solver.model_value(lit)
+
+    def test_unsat_assumptions_do_not_poison(self):
+        """The exact scenario of the fraig bug."""
+        solver = Solver()
+        a, b, c = solver.new_vars(3)
+        solver.add_clause([a, b])
+        assert solver.solve(assumptions=[-a, -b]) is False
+        # Clause addition immediately after an assumption-UNSAT answer.
+        solver.add_clause([c])
+        solver.add_clause([-c, a])
+        assert solver.solve() is True
+        assert solver.model_value(a) and solver.model_value(c)
+        # And with satisfiable assumptions again:
+        assert solver.solve(assumptions=[b]) is True
+
+    def test_unit_after_assumption_unsat_is_permanent(self):
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])
+        assert solver.solve(assumptions=[-a, -b]) is False
+        solver.add_clause([-b])  # unit at root, must persist
+        assert solver.solve() is True
+        assert not solver.model_value(b)
+        assert solver.model_value(a)
+        assert solver.solve(assumptions=[b]) is False
+
+    def test_alternating_sat_unsat_assumptions(self):
+        solver = Solver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])
+        for _ in range(10):
+            assert solver.solve(assumptions=[-a]) is True
+            assert solver.model_value(b)
+            assert solver.solve(assumptions=[-a, -b]) is False
+        assert solver.solve() is True

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStats:
+    def test_stats_generate(self, capsys):
+        assert main(["stats", "--generate", "adder", "--width", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "16 PIs" in out and "size" in out
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--generate", "nonexistent"])
+
+    def test_missing_input(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+
+class TestOptimize:
+    def test_optimize_with_verify(self, capsys):
+        code = main(
+            ["optimize", "--generate", "square-root", "--width", "6",
+             "--variant", "BF", "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "equivalence: OK" in out
+
+    def test_optimize_writes_blif(self, capsys, tmp_path):
+        out_file = tmp_path / "out.blif"
+        code = main(
+            ["optimize", "--generate", "adder", "--width", "6",
+             "--variant", "TF", "-o", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        from repro.io.blif import read_blif
+
+        with open(out_file) as fp:
+            mig = read_blif(fp)
+        assert mig.num_pis == 12
+
+    def test_optimize_writes_verilog(self, tmp_path):
+        out_file = tmp_path / "out.v"
+        assert main(
+            ["optimize", "--generate", "adder", "--width", "4", "-o", str(out_file)]
+        ) == 0
+        assert "module" in out_file.read_text()
+
+    def test_optimize_from_blif(self, capsys, tmp_path, full_adder):
+        from repro.io.blif import write_blif
+
+        path = tmp_path / "fa.blif"
+        with open(path, "w") as fp:
+            write_blif(full_adder, fp)
+        assert main(["optimize", "--blif", str(path), "--verify"]) == 0
+
+    def test_depth_opt_baseline(self, capsys):
+        assert main(
+            ["optimize", "--generate", "adder", "--width", "8", "--depth-opt"]
+        ) == 0
+
+
+class TestMap:
+    def test_map_unoptimized(self, capsys):
+        assert main(["map", "--generate", "sine", "--width", "6"]) == 0
+        assert "area=" in capsys.readouterr().out
+
+    def test_map_with_variant(self, capsys):
+        assert main(
+            ["map", "--generate", "square", "--width", "5", "--variant", "BF"]
+        ) == 0
+
+
+class TestExact:
+    def test_exact_xor(self, capsys):
+        assert main(["exact", "--tt", "0x6", "--vars", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "size 3" in out and "proven minimal" in out
+
+    def test_exact_budget_failure(self, capsys):
+        code = main(["exact", "--tt", "0x1668", "--vars", "4", "--budget", "10"])
+        assert code == 1
+
+
+class TestFlow:
+    def test_flow_with_verify(self, capsys):
+        code = main(
+            ["flow", "--generate", "square-root", "--width", "6",
+             "--script", "BF,TFD,fraig", "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "equivalence: OK" in out
+        assert "final:" in out
+
+    def test_flow_writes_bench(self, tmp_path):
+        out_file = tmp_path / "out.bench"
+        assert main(
+            ["flow", "--generate", "adder", "--width", "4",
+             "--script", "strash", "-o", str(out_file)]
+        ) == 0
+        text = out_file.read_text()
+        assert "INPUT(" in text and "OUTPUT(" in text
+
+    def test_flow_from_bench_file(self, tmp_path, full_adder):
+        from repro.io.bench import write_bench
+
+        path = tmp_path / "fa.bench"
+        with open(path, "w") as fp:
+            write_bench(full_adder, fp)
+        assert main(["flow", "--bench", str(path), "--script", "BF", "--verify"]) == 0
+
+    def test_flow_bad_step(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            main(["flow", "--generate", "adder", "--width", "4",
+                  "--script", "nonsense"])
