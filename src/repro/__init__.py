@@ -18,6 +18,9 @@ Public API highlights:
 * :func:`repro.mapping.map_mig` — cut-based technology mapping (Table IV).
 * :mod:`repro.generators` — structural equivalents of the EPFL arithmetic
   benchmarks.
+* :class:`repro.runtime.Budget` / :func:`repro.runtime.verify_rewrite` —
+  the fault-tolerant runtime: shared time/conflict budgets, post-pass
+  verification with rollback, crash-safe artifacts (docs/ROBUSTNESS.md).
 """
 
 from .core import Mig, TruthTable, check_equivalence, npn_canonize
@@ -26,8 +29,9 @@ from .rewriting import VARIANTS, functional_hashing
 from .exact import synthesize_exact
 from .opt import optimize_depth
 from .mapping import map_mig
+from .runtime import Budget, verify_rewrite
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Mig",
@@ -40,5 +44,7 @@ __all__ = [
     "synthesize_exact",
     "optimize_depth",
     "map_mig",
+    "Budget",
+    "verify_rewrite",
     "__version__",
 ]

@@ -98,7 +98,28 @@ def main(argv: list[str] | None = None) -> int:
         "--script", default="depth,BF,TFD",
         help="comma-separated steps (variants, depth, depth-fast, strash, fraig)",
     )
-    p_flow.add_argument("--verify", action="store_true")
+    p_flow.add_argument(
+        "--verify", nargs="?", const="sim", default="off",
+        choices=["off", "sim", "cec"],
+        help="per-step + final equivalence checking: 'sim' (simulation; the "
+        "default when the flag is given bare) or 'cec' (adds budgeted SAT "
+        "CEC for wide networks)",
+    )
+    p_flow.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget shared by all steps; expired steps are "
+        "recorded as 'timeout' and the partial result is returned",
+    )
+    p_flow.add_argument(
+        "--conflict-limit", type=int, default=None, metavar="N",
+        help="total SAT conflict budget shared by all steps",
+    )
+    p_flow.add_argument(
+        "--on-error", default="raise", choices=["raise", "rollback", "skip"],
+        help="what to do when a step fails or miscompiles: propagate "
+        "('raise'), or keep the pre-step network and continue "
+        "('rollback'/'skip')",
+    )
     p_flow.add_argument("-o", "--output", help="write the result (BLIF/.v/.bench)")
     p_flow.add_argument("--db", help="path to an alternative NPN database")
 
@@ -147,15 +168,28 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "flow":
         from .opt.flow import run_flow
+        from .runtime.budget import Budget
 
         mig = _load_network(args)
         db = NpnDatabase.load(args.db)
         script = [step for step in args.script.split(",") if step]
+        budget = None
+        if args.time_limit is not None or args.conflict_limit is not None:
+            budget = Budget.from_limits(
+                time_limit=args.time_limit, conflict_limit=args.conflict_limit
+            )
         print(f"{mig.name}: {mig.num_gates}/{mig.depth()}  script: {script}")
-        result, history = run_flow(mig, db, script, verbose=True)
+        result, history = run_flow(
+            mig, db, script, verbose=True,
+            budget=budget, verify=args.verify, on_error=args.on_error,
+        )
         print(f"final: {result.num_gates}/{result.depth()} "
               f"({sum(step.runtime for step in history):.2f}s total)")
-        if args.verify:
+        bad = [s for s in history if s.status != "ok"]
+        if bad:
+            summary = ", ".join(f"{s.step}={s.status}" for s in bad)
+            print(f"degraded steps: {summary}")
+        if args.verify != "off":
             ok = check_equivalence(mig, result)
             print(f"equivalence: {'OK' if ok else 'FAILED'}")
             if not ok:

@@ -34,11 +34,26 @@ from .npn_db import DbEntry, NpnDatabase
 __all__ = ["generate_tree_database", "improve_with_sat", "main"]
 
 
-def generate_tree_database(num_vars: int = 4, verbose: bool = False) -> NpnDatabase:
-    """Phase 1: build the complete database from L-optimal trees."""
+def generate_tree_database(
+    num_vars: int = 4,
+    verbose: bool = False,
+    out_path: str | Path | None = None,
+    resume: NpnDatabase | None = None,
+    checkpoint_every: int = 8,
+) -> NpnDatabase:
+    """Phase 1: build the complete database from L-optimal trees.
+
+    Crash-safe and resumable: with *out_path* the database is checkpointed
+    (atomically) every *checkpoint_every* completed classes, and passing a
+    partially filled database as *resume* synthesizes only the missing
+    classes.  Every entry is verified against its representative before it
+    is admitted, so a checkpoint only ever contains verified classes.
+    """
     synth = TreeSynthesizer(num_vars)
-    entries = []
-    for rep in enumerate_npn_classes(num_vars):
+    db = resume if resume is not None else NpnDatabase([], num_vars)
+    pending = [rep for rep in enumerate_npn_classes(num_vars) if rep not in db.entries]
+    completed = 0
+    for rep in pending:
         start = time.perf_counter()
         mig = synth.synthesize(rep)
         if mig.simulate()[0] != rep:
@@ -49,18 +64,23 @@ def generate_tree_database(num_vars: int = 4, verbose: bool = False) -> NpnDatab
         # Trees of length 0 and 1 are trivially minimum.
         if entry.size <= 1:
             entry = replace(entry, proven=True)
-        entries.append(entry)
+        db.entries[rep] = entry
+        completed += 1
+        if out_path is not None and completed % checkpoint_every == 0:
+            db.save(out_path)
         if verbose:
             print(f"tree 0x{rep:04x}: size {entry.size} (L={synth.length_of(rep)})")
-    return NpnDatabase(entries, num_vars)
+    if out_path is not None and (completed or not Path(out_path).exists()):
+        db.save(out_path)
+    return db
 
 
 def _solve_size(
-    spec: int, num_vars: int, k: int, budget: int | None
+    spec: int, num_vars: int, k: int, budget: int | None, deadline: float | None = None
 ) -> tuple[bool | None, DbEntry | None, int]:
     """One exact-synthesis decision; returns (answer, entry-if-SAT, conflicts)."""
     encoding = encode_exact_mig(spec, num_vars, k)
-    answer = encoding.solve_cegar(conflict_budget=budget)
+    answer = encoding.solve_cegar(conflict_budget=budget, deadline=deadline)
     conflicts = encoding.builder.solver.conflicts
     if answer is True:
         mig = encoding.extract_mig()
@@ -112,7 +132,7 @@ def improve_with_sat(
             if deadline is not None and time.monotonic() > deadline:
                 exhausted = True
                 break
-            answer, found, conflicts = _solve_size(rep, db.num_vars, k, budget)
+            answer, found, conflicts = _solve_size(rep, db.num_vars, k, budget, deadline)
             total_conflicts += conflicts
             if answer is False:
                 refuted_below = k
@@ -134,7 +154,7 @@ def improve_with_sat(
                 if k2 == unknown_at:
                     k2 -= 1
                     continue
-                answer, found, conflicts = _solve_size(rep, db.num_vars, k2, budget)
+                answer, found, conflicts = _solve_size(rep, db.num_vars, k2, budget, deadline)
                 total_conflicts += conflicts
                 if answer is True and found is not None:
                     best = found
@@ -182,7 +202,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--resume", action="store_true",
-        help="load the existing output file and continue the SAT phase",
+        help="load the existing output file and continue from the last "
+        "completed class (this is also the default when the file exists)",
+    )
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore an existing output file and regenerate from scratch",
     )
     parser.add_argument(
         "--largest-first", action="store_true",
@@ -195,15 +220,21 @@ def main(argv: list[str] | None = None) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     verbose = not args.quiet
 
-    if args.resume and out.exists():
-        db = NpnDatabase.load(out)
+    partial: NpnDatabase | None = None
+    if out.exists() and (args.resume or not args.fresh):
+        # Tolerant load: truncated trailing lines from a killed run are
+        # skipped, everything that parses is kept.
+        partial = NpnDatabase.load(out)
         if verbose:
-            print(f"resumed {len(db)} entries from {out}")
+            note = f" ({partial.skipped_lines} malformed lines skipped)" \
+                if partial.skipped_lines else ""
+            print(f"resumed {len(partial)} entries from {out}{note}")
+    if partial is not None and partial.complete:
+        db = partial
     else:
         if verbose:
             print("phase 1: L(f) dynamic program + witness trees ...")
-        db = generate_tree_database(verbose=False)
-        db.save(out)
+        db = generate_tree_database(verbose=False, out_path=out, resume=partial)
         if verbose:
             print(f"tree database written: {len(db)} entries, "
                   f"size histogram {db.size_histogram()}")

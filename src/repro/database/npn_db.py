@@ -20,8 +20,10 @@ and output — and returns the signal computing the cut function.
 
 from __future__ import annotations
 
+import io
 import json
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from importlib import resources
 from pathlib import Path
 from typing import IO, Iterable
@@ -29,6 +31,7 @@ from typing import IO, Iterable
 from ..core.mig import Mig, signal_not
 from ..core.npn import apply_transform, npn_canonize
 from ..core.truth_table import tt_mask
+from ..runtime.faults import fault_active
 
 __all__ = ["DbEntry", "NpnDatabase", "DEFAULT_DB_RESOURCE"]
 
@@ -124,6 +127,8 @@ class NpnDatabase:
                 )
             self.entries[entry.rep] = entry
         self._pin_depth_cache: dict[int, list[int]] = {}
+        #: malformed JSONL lines skipped during the last load (see from_jsonl)
+        self.skipped_lines: int = 0
 
     # -- loading -----------------------------------------------------------
 
@@ -139,20 +144,45 @@ class NpnDatabase:
 
     @classmethod
     def from_jsonl(cls, fp: IO[str], num_vars: int = 4) -> "NpnDatabase":
-        """Parse a JSONL stream of entries."""
+        """Parse a JSONL stream of entries.
+
+        Malformed or truncated lines — the footprint of an interrupted
+        append or a partial write — are skipped with a warning instead of
+        aborting the load mid-file; the count is available afterwards as
+        :attr:`skipped_lines`.  Entries for a representative seen twice
+        keep the later (smaller-or-equal, in checkpointed runs) line.
+        """
         entries = []
-        for line in fp:
+        skipped = 0
+        for lineno, line in enumerate(fp, start=1):
             line = line.strip()
             if not line:
                 continue
-            entries.append(entry_from_json(line))
-        return cls(entries, num_vars)
+            try:
+                entries.append(entry_from_json(line))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                skipped += 1
+                warnings.warn(
+                    f"npn database: skipping malformed line {lineno} "
+                    f"({type(exc).__name__}: {exc})",
+                    stacklevel=2,
+                )
+        db = cls(entries, num_vars)
+        db.skipped_lines = skipped
+        return db
 
     def save(self, path: str | Path) -> None:
-        """Write all entries as JSONL."""
-        with open(path, "w", encoding="utf-8") as fp:
-            for rep in sorted(self.entries):
-                fp.write(entry_to_json(self.entries[rep]) + "\n")
+        """Write all entries as JSONL, atomically (temp file + rename).
+
+        A crash mid-save leaves the previous database intact rather than
+        a truncated file.
+        """
+        from ..runtime.artifacts import atomic_write_text
+
+        buf = io.StringIO()
+        for rep in sorted(self.entries):
+            buf.write(entry_to_json(self.entries[rep]) + "\n")
+        atomic_write_text(path, buf.getvalue())
 
     # -- queries -----------------------------------------------------------
 
@@ -175,6 +205,11 @@ class NpnDatabase:
         entry = self.entries.get(rep)
         if entry is None:
             raise KeyError(f"no database entry for NPN class 0x{rep:x}")
+        if fault_active("db.corrupt-entry"):
+            # Fault hook: hand out a silently miscomputing entry — output
+            # inverted, size understated so rewriters will prefer it —
+            # to exercise downstream verification.
+            entry = replace(entry, output=entry.output ^ 1, size=0)
         return entry, transform
 
     def size_of(self, tt: int) -> int:

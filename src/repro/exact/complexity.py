@@ -56,18 +56,26 @@ def cached_length_table(num_vars: int = 4) -> np.ndarray:
 
     The exhaustive 4-variable DP takes a couple of minutes; the result is
     cached under the package data directory and reused by Table II and by
-    database generation.
+    database generation.  The load path is fault-tolerant: an unreadable,
+    pickled, or mis-shaped cache file is quarantined (renamed to
+    ``*.corrupt``) and the table regenerated and re-saved atomically, so
+    a corrupt artifact can never crash the pipeline.
     """
+    from ..runtime.artifacts import atomic_save_npy, load_validated_npy
+
     cache = Path(__file__).resolve().parent.parent / "database" / "data"
     path = cache / f"length{num_vars}.npy"
-    if path.exists():
-        table = np.load(path)
-        if table.shape == (1 << (1 << num_vars),):
-            return table
+    table = load_validated_npy(
+        path,
+        expected_shape=(1 << (1 << num_vars),),
+        expected_dtype=np.uint8,
+    )
+    if table is not None:
+        return table
     table = compute_length_table(num_vars)
     try:
         cache.mkdir(parents=True, exist_ok=True)
-        np.save(path, table)
+        atomic_save_npy(path, table)
     except OSError:
         pass  # read-only installs just recompute
     return table

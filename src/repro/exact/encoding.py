@@ -109,12 +109,16 @@ class ExactMigEncoding:
 
     # -- solving ---------------------------------------------------------
 
-    def solve(self, conflict_budget: int | None = None) -> bool | None:
+    def solve(
+        self, conflict_budget: int | None = None, deadline: float | None = None
+    ) -> bool | None:
         """Solve the monolithic instance (all rows)."""
         self.add_all_rows()
-        return self.builder.solve(conflict_budget=conflict_budget)
+        return self.builder.solve(conflict_budget=conflict_budget, deadline=deadline)
 
-    def solve_cegar(self, conflict_budget: int | None = None) -> bool | None:
+    def solve_cegar(
+        self, conflict_budget: int | None = None, deadline: float | None = None
+    ) -> bool | None:
         """Solve via counterexample-guided row refinement.
 
         Returns True (a valid MIG can be extracted), False (no MIG with
@@ -127,7 +131,7 @@ class ExactMigEncoding:
         budget = conflict_budget
         while True:
             before = self.builder.solver.conflicts
-            answer = self.builder.solve(conflict_budget=budget)
+            answer = self.builder.solve(conflict_budget=budget, deadline=deadline)
             if budget is not None:
                 budget -= self.builder.solver.conflicts - before
             if answer is None:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..core.mig import Mig, make_signal, signal_not
 from ..core.truth_table import tt_mask, tt_var
+from ..runtime.budget import Budget
 from .encoding import encode_exact_mig
 
 __all__ = ["SynthesisResult", "ExactSynthesizer", "synthesize_exact"]
@@ -80,11 +81,14 @@ class ExactSynthesizer:
         max_gates: int = 12,
         verify: bool = True,
         use_cegar: bool = True,
+        budget: Budget | None = None,
     ) -> None:
         self.conflict_budget = conflict_budget
         self.max_gates = max_gates
         self.verify = verify
         self.use_cegar = use_cegar
+        #: shared runtime budget; checked between sizes, charged per call
+        self.budget = budget
 
     def synthesize(
         self,
@@ -119,13 +123,38 @@ class ExactSynthesizer:
             )
         k_outcomes[0] = "unsat"
 
+        budget = self.budget
         for k in range(1, limit + 1):
+            if budget is not None and budget.expired():
+                # Shared budget spent before this size: degrade to the
+                # upper bound (if any) exactly like a per-call timeout.
+                k_outcomes[k] = "unknown"
+                return SynthesisResult(
+                    spec,
+                    num_vars,
+                    upper_bound,
+                    upper_bound.num_gates if upper_bound is not None else None,
+                    False,
+                    time.perf_counter() - start,
+                    total_conflicts,
+                    k_outcomes,
+                )
+            call_budget = self.conflict_budget
+            deadline = None
+            if budget is not None:
+                call_budget = budget.call_conflict_budget(call_budget)
+                deadline = budget.deadline
             encoding = encode_exact_mig(spec, num_vars, k)
             if self.use_cegar:
-                answer = encoding.solve_cegar(conflict_budget=self.conflict_budget)
+                answer = encoding.solve_cegar(
+                    conflict_budget=call_budget, deadline=deadline
+                )
             else:
-                answer = encoding.solve(conflict_budget=self.conflict_budget)
-            total_conflicts += encoding.builder.solver.conflicts
+                answer = encoding.solve(conflict_budget=call_budget, deadline=deadline)
+            call_conflicts = encoding.builder.solver.conflicts
+            total_conflicts += call_conflicts
+            if budget is not None:
+                budget.charge_conflicts(call_conflicts)
             if answer is True:
                 k_outcomes[k] = "sat"
                 mig = encoding.extract_mig()
@@ -170,8 +199,9 @@ def synthesize_exact(
     num_vars: int,
     conflict_budget: int | None = None,
     max_gates: int = 12,
+    budget: Budget | None = None,
 ) -> SynthesisResult:
     """Convenience wrapper: synthesize a minimum MIG for *spec*."""
     return ExactSynthesizer(
-        conflict_budget=conflict_budget, max_gates=max_gates
+        conflict_budget=conflict_budget, max_gates=max_gates, budget=budget
     ).synthesize(spec, num_vars)

@@ -1,4 +1,4 @@
-"""Scripted optimization flows and convergence iteration.
+"""Scripted optimization flows with verification, rollback, and budgets.
 
 The paper's closing remark: *"In all experiments, we have performed the
 functional hashing algorithm only once.  Running it several times or
@@ -13,9 +13,22 @@ Recognized steps: any functional-hashing variant acronym (``T``, ``TD``,
 ``TF``, ``TFD``, ``B``, ``BD``, ``BF``, ``BFD``), ``depth`` (algebraic
 depth optimization), ``depth-fast`` (associativity only, size-neutral),
 ``strash`` (structural-hash rebuild), and ``fraig`` (SAT sweeping, for
-networks the solver can handle).  :func:`optimize_until_convergence`
-repeats one variant to a fixpoint — the ablation benchmark
-``bench_ablation_iterate.py`` quantifies the paper's remark with it.
+networks the solver can handle).
+
+On top of the sequencing the flow is a *fault-tolerant runtime*
+(docs/ROBUSTNESS.md): every step can run under a shared
+:class:`~repro.runtime.budget.Budget`, its result can be functionally
+verified against the pre-step network (``verify="sim"`` or ``"cec"``),
+and failures are handled by a configurable ``on_error`` policy —
+``"raise"`` propagates, ``"rollback"`` keeps the pre-step network and
+continues, ``"skip"`` is an alias of rollback for errors that produced no
+result at all.  Each step records its outcome in
+:attr:`FlowStepStats.status`: ``ok``, ``rolled-back``, ``timeout``,
+``failed``, or ``skipped``.
+
+:func:`optimize_until_convergence` repeats one variant to a fixpoint —
+the ablation benchmark ``bench_ablation_iterate.py`` quantifies the
+paper's remark with it.
 """
 
 from __future__ import annotations
@@ -23,13 +36,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..core.mig import Mig
+from ..core.mig import Mig, signal_not
 from ..database.npn_db import NpnDatabase
 from ..rewriting.engine import VARIANTS, functional_hashing
+from ..runtime.budget import Budget
+from ..runtime.errors import BudgetExhausted, VerificationFailed
+from ..runtime.faults import fault_active
+from ..runtime.verify import verify_rewrite
 from .depth_opt import optimize_depth
 from .size_opt import strash_rebuild
 
 __all__ = ["FlowStepStats", "run_flow", "optimize_until_convergence"]
+
+_ON_ERROR_POLICIES = ("raise", "rollback", "skip")
 
 
 @dataclass(frozen=True)
@@ -42,9 +61,17 @@ class FlowStepStats:
     size_after: int
     depth_after: int
     runtime: float
+    #: "ok", "rolled-back", "timeout", "failed", or "skipped"
+    status: str = "ok"
+    #: how the step was verified: "off", "exhaustive", "sampled", "cec"
+    verified: str = "off"
+    #: diagnostic for non-ok statuses (exception text, counterexample)
+    error: str | None = None
 
 
-def _apply_step(mig: Mig, db: NpnDatabase | None, step: str) -> Mig:
+def _apply_step(
+    mig: Mig, db: NpnDatabase | None, step: str, budget: Budget | None
+) -> Mig:
     name = step.strip()
     upper = name.upper()
     if upper in VARIANTS:
@@ -60,11 +87,36 @@ def _apply_step(mig: Mig, db: NpnDatabase | None, step: str) -> Mig:
     if name == "fraig":
         from .fraig import fraig
 
-        return fraig(mig)
+        return fraig(mig, budget=budget)
     raise ValueError(
         f"unknown flow step {step!r}; expected one of {VARIANTS} or "
         "'depth', 'depth-fast', 'strash', 'fraig'"
     )
+
+
+def _validate_script(db: NpnDatabase | None, script: list[str]) -> None:
+    """Reject unknown steps (and variant steps without a db) up front.
+
+    Script typos are caller bugs, not runtime faults — they must raise
+    regardless of the ``on_error`` policy.
+    """
+    for step in script:
+        name = step.strip()
+        if name.upper() in VARIANTS:
+            if db is None:
+                raise ValueError(f"step {step!r} needs an NPN database")
+        elif name not in ("depth", "depth-fast", "strash", "fraig"):
+            raise ValueError(
+                f"unknown flow step {step!r}; expected one of {VARIANTS} or "
+                "'depth', 'depth-fast', 'strash', 'fraig'"
+            )
+
+
+def _miscompiled(mig: Mig) -> Mig:
+    """Deliberately wrong copy of *mig* (first output inverted) — fault hook."""
+    bad = mig.clone()
+    bad._outputs[0] = signal_not(bad._outputs[0])
+    return bad
 
 
 def run_flow(
@@ -72,13 +124,39 @@ def run_flow(
     db: NpnDatabase | None,
     script: list[str],
     verbose: bool = False,
+    budget: Budget | None = None,
+    verify: str = "off",
+    on_error: str = "raise",
 ) -> tuple[Mig, list[FlowStepStats]]:
-    """Apply *script* steps in order; returns the final MIG and per-step stats."""
+    """Apply *script* steps in order; returns the final MIG and per-step stats.
+
+    *budget* bounds the whole flow: SAT-backed steps run under it, and
+    once it expires the remaining steps are recorded as ``timeout``
+    without executing, so the call returns partial results instead of
+    hanging.  *verify* (``off``/``sim``/``cec``) checks each step's
+    result against its input and — under ``on_error="rollback"`` or
+    ``"skip"`` — discards non-equivalent results, recording the step as
+    ``rolled-back``.  ``on_error="raise"`` propagates step exceptions and
+    raises :class:`~repro.runtime.errors.VerificationFailed` on a
+    detected miscompile.
+    """
+    if on_error not in _ON_ERROR_POLICIES:
+        raise ValueError(
+            f"unknown on_error policy {on_error!r}; expected one of {_ON_ERROR_POLICIES}"
+        )
+    _validate_script(db, script)
+
     history: list[FlowStepStats] = []
     current = mig
-    for step in script:
-        start = time.perf_counter()
-        nxt = _apply_step(current, db, step)
+
+    def record(
+        step: str,
+        nxt: Mig,
+        start: float,
+        status: str,
+        verified: str = "off",
+        error: str | None = None,
+    ) -> None:
         stats = FlowStepStats(
             step=step,
             size_before=current.num_gates,
@@ -86,13 +164,53 @@ def run_flow(
             size_after=nxt.num_gates,
             depth_after=nxt.depth(),
             runtime=time.perf_counter() - start,
+            status=status,
+            verified=verified,
+            error=error,
         )
         history.append(stats)
         if verbose:
+            flag = "" if status == "ok" else f" [{status}]"
             print(
                 f"  {step:10} {stats.size_before}/{stats.depth_before} -> "
-                f"{stats.size_after}/{stats.depth_after} ({stats.runtime:.2f}s)"
+                f"{stats.size_after}/{stats.depth_after} ({stats.runtime:.2f}s){flag}"
             )
+
+    for step in script:
+        start = time.perf_counter()
+        if budget is not None and budget.expired():
+            # Budget spent before this step: record it unexecuted.
+            record(step, current, start, "timeout", error="budget exhausted")
+            continue
+        try:
+            nxt = _apply_step(current, db, step, budget)
+        except BudgetExhausted as exc:
+            record(step, current, start, "timeout", error=str(exc))
+            continue
+        except Exception as exc:  # noqa: BLE001 - policy boundary
+            if on_error == "raise":
+                raise
+            record(step, current, start, "failed", error=str(exc))
+            continue
+
+        if fault_active("flow.wrong-rewrite"):
+            nxt = _miscompiled(nxt)
+
+        report = verify_rewrite(current, nxt, mode=verify, budget=budget)
+        if report.refuted:
+            if on_error == "raise":
+                raise VerificationFailed(
+                    step=step,
+                    method=report.method,
+                    counterexample=report.counterexample,
+                )
+            error = f"non-equivalent result ({report.method})"
+            if report.counterexample is not None:
+                error += f"; counterexample {report.counterexample}"
+            record(step, current, start, "rolled-back", report.method, error)
+            continue
+
+        record(step, nxt, start, "ok", report.method)
         current = nxt
     return current, history
 

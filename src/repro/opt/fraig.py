@@ -26,6 +26,7 @@ import random
 
 from ..core.mig import Mig
 from ..core.truth_table import tt_maj
+from ..runtime.budget import Budget
 from ..sat.solver import Solver
 
 __all__ = ["fraig"]
@@ -38,8 +39,14 @@ def fraig(
     seed: int = 0x5EED,
     conflict_budget: int = 3000,
     max_cex_rounds: int = 64,
+    budget: Budget | None = None,
 ) -> Mig:
-    """Merge provably equivalent gates; returns the swept network."""
+    """Merge provably equivalent gates; returns the swept network.
+
+    A shared :class:`~repro.runtime.budget.Budget` degrades the pass
+    gracefully: once it expires, remaining candidate equivalences are
+    simply kept unmerged (always sound — the pass only merges on proof).
+    """
     rng = random.Random(seed)
     mask = (1 << width) - 1
 
@@ -145,13 +152,27 @@ def fraig(
         sig, phase = canonical(node)
         canon_signal = signal ^ int(phase)
         existing = representative.get(sig)
-        if existing is not None and existing != canon_signal:
+        if (
+            existing is not None
+            and existing != canon_signal
+            and (budget is None or not budget.expired())
+        ):
             encode_up_to_date()
             d = solver.new_var()
             l1, l2 = lit_of(existing), lit_of(canon_signal)
             solver.add_clause([-d, l1, l2])
             solver.add_clause([-d, -l1, -l2])
-            answer = solver.solve(assumptions=[d], conflict_budget=conflict_budget)
+            call_budget = conflict_budget
+            deadline = None
+            if budget is not None:
+                call_budget = budget.call_conflict_budget(conflict_budget)
+                deadline = budget.deadline
+            before_conflicts = solver.conflicts
+            answer = solver.solve(
+                assumptions=[d], conflict_budget=call_budget, deadline=deadline
+            )
+            if budget is not None:
+                budget.charge_conflicts(solver.conflicts - before_conflicts)
             if answer is False:
                 signal = existing ^ int(phase)
                 canon_signal = existing

@@ -1,0 +1,35 @@
+"""Fault-tolerant optimization runtime.
+
+The robustness substrate shared by every layer of the reproduction:
+
+* :mod:`repro.runtime.budget` — wall-clock + conflict budgets shared and
+  split across passes;
+* :mod:`repro.runtime.verify` — the post-pass equivalence policy
+  (exhaustive / sampled simulation, budgeted SAT CEC);
+* :mod:`repro.runtime.errors` — the structured exception taxonomy;
+* :mod:`repro.runtime.artifacts` — atomic writes, validated loads and
+  quarantine for on-disk artifacts;
+* :mod:`repro.runtime.faults` — fault injection hooks for testing all of
+  the above against real failures.
+
+See ``docs/ROBUSTNESS.md`` for the full model.
+"""
+
+from .budget import Budget
+from .errors import (
+    BudgetExhausted,
+    CorruptArtifact,
+    ReproRuntimeError,
+    VerificationFailed,
+)
+from .verify import VerificationReport, verify_rewrite
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "CorruptArtifact",
+    "ReproRuntimeError",
+    "VerificationFailed",
+    "VerificationReport",
+    "verify_rewrite",
+]

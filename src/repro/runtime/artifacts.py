@@ -1,0 +1,143 @@
+"""Crash-safe on-disk artifacts: atomic writes, validated loads, quarantine.
+
+Every artifact this code base persists (``.npy`` complexity caches, the
+NPN JSONL database, generation checkpoints) goes through two rules:
+
+1. **Writes are atomic** — data is written to a temporary file in the
+   destination directory, flushed and fsynced, then moved into place with
+   :func:`os.replace`.  A crash mid-write leaves either the old artifact
+   or no artifact, never a truncated one.
+2. **Loads are validated** — shape/dtype (``.npy``) or per-line JSON
+   structure (JSONL) is checked before use.  A file that fails either
+   step is *quarantined*: renamed to ``<name>.corrupt`` (numbered when
+   that exists) next to the original so the evidence survives for
+   debugging, and the caller regenerates.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from .errors import CorruptArtifact
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_save_npy",
+    "load_validated_npy",
+    "quarantine",
+]
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write *data* to *path* atomically (temp file + ``os.replace``)."""
+    path = Path(path)
+    try:
+        mode = os.stat(path).st_mode & 0o777
+    except OSError:
+        # New file: mkstemp creates 0o600; widen to the usual creation
+        # mode so a rewritten shared artifact stays group/other-readable.
+        mode = 0o666 & ~_current_umask()
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as fp:
+            fp.write(data)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.chmod(tmp_name, mode)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _current_umask() -> int:
+    # There is no read-only accessor for the process umask.
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Write *text* to *path* atomically."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_save_npy(path: str | Path, array: np.ndarray) -> None:
+    """Save *array* in ``.npy`` format atomically."""
+    import io
+
+    buf = io.BytesIO()
+    np.save(buf, array)
+    atomic_write_bytes(path, buf.getvalue())
+
+
+def quarantine(path: str | Path) -> Path | None:
+    """Move a corrupt artifact aside as ``<name>.corrupt[.N]``.
+
+    Returns the quarantine path, or ``None`` when the move failed (e.g.
+    a read-only install) — in which case the caller should simply
+    regenerate in memory.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    n = 0
+    while target.exists():
+        n += 1
+        target = path.with_name(f"{path.name}.corrupt.{n}")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
+
+
+def load_validated_npy(
+    path: str | Path,
+    expected_shape: tuple[int, ...] | None = None,
+    expected_dtype: np.dtype | type | None = None,
+    on_corrupt: str = "quarantine",
+) -> np.ndarray | None:
+    """Load ``path`` as a plain (non-pickled) array and validate it.
+
+    Returns the array, or ``None`` when the file is missing or corrupt
+    and ``on_corrupt == "quarantine"`` (the default; the bad file is
+    moved aside so the caller can regenerate).  With
+    ``on_corrupt == "raise"`` a :class:`CorruptArtifact` is raised
+    instead.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    reason = None
+    try:
+        # allow_pickle stays False: the caches are plain numeric arrays,
+        # and pickled payloads are both a corruption signal and unsafe.
+        array = np.load(path, allow_pickle=False)
+    except (ValueError, OSError, EOFError) as exc:
+        # numpy raises ValueError both for pickled payloads and for
+        # malformed headers; UnpicklingError subclasses are wrapped too.
+        reason = f"{type(exc).__name__}: {exc}"
+        array = None
+    if array is not None:
+        if expected_shape is not None and array.shape != expected_shape:
+            reason = f"shape {array.shape} != expected {expected_shape}"
+            array = None
+        elif expected_dtype is not None and array.dtype != np.dtype(expected_dtype):
+            reason = f"dtype {array.dtype} != expected {np.dtype(expected_dtype)}"
+            array = None
+    if array is not None:
+        return array
+    if on_corrupt == "raise":
+        raise CorruptArtifact(str(path), reason or "unreadable")
+    quarantine(path)
+    return None

@@ -1,0 +1,171 @@
+"""Shared wall-clock / conflict budgets for anytime optimization.
+
+The SAT-backed passes (exact synthesis, fraiging, CEC) are all *anytime*:
+they can stop early and report what they have.  What the seed code base
+lacked was a way to make several passes share one limit — a flow script
+given 2 seconds must not let its first step spend all of them.  The
+:class:`Budget` object carries both resources:
+
+* a **wall-clock deadline** (absolute ``time.monotonic()`` instant), and
+* a **conflict budget** (total CDCL conflicts across all SAT calls).
+
+Either may be ``None`` (unlimited).  A budget is *charged* as work
+happens and can be *split* into child budgets for sub-tasks; children
+share the parent's deadline but receive a slice of the remaining
+conflicts.  All SAT entry points accept a budget and translate it into
+their native per-call limits.
+
+>>> from repro.runtime.budget import Budget
+>>> b = Budget.from_limits(time_limit=2.0, conflict_limit=10_000)
+>>> b.expired()
+False
+>>> b.charge_conflicts(4_000); b.remaining_conflicts()
+6000
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .errors import BudgetExhausted
+
+__all__ = ["Budget"]
+
+
+class Budget:
+    """A shared, chargeable wall-clock + conflict budget.
+
+    Instances are mutable on purpose: passes charge the *same* object so
+    later passes see what earlier ones spent.  ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(
+        self,
+        deadline: float | None = None,
+        conflict_limit: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.deadline = deadline
+        self.conflict_limit = conflict_limit
+        self.conflicts_spent = 0
+        self._clock = clock
+
+    @classmethod
+    def from_limits(
+        cls,
+        time_limit: float | None = None,
+        conflict_limit: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Budget":
+        """Build a budget from relative limits (seconds from now)."""
+        deadline = None if time_limit is None else clock() + time_limit
+        return cls(deadline=deadline, conflict_limit=conflict_limit, clock=clock)
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget that never expires (for uniform call sites)."""
+        return cls()
+
+    # -- queries -----------------------------------------------------------
+
+    def remaining_time(self) -> float | None:
+        """Seconds until the deadline (``None`` when untimed, >= 0)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._clock())
+
+    def remaining_conflicts(self) -> int | None:
+        """Conflicts left to spend (``None`` when unlimited, >= 0)."""
+        if self.conflict_limit is None:
+            return None
+        return max(0, self.conflict_limit - self.conflicts_spent)
+
+    def time_expired(self) -> bool:
+        return self.deadline is not None and self._clock() >= self.deadline
+
+    def conflicts_expired(self) -> bool:
+        return (
+            self.conflict_limit is not None
+            and self.conflicts_spent >= self.conflict_limit
+        )
+
+    def expired(self) -> bool:
+        """True when either resource ran out."""
+        return self.time_expired() or self.conflicts_expired()
+
+    # -- charging ----------------------------------------------------------
+
+    def charge_conflicts(self, count: int) -> None:
+        """Record *count* CDCL conflicts spent against this budget."""
+        if count < 0:
+            raise ValueError("cannot charge a negative conflict count")
+        self.conflicts_spent += count
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`BudgetExhausted` if the budget is spent."""
+        if self.time_expired():
+            raise BudgetExhausted("time", where)
+        if self.conflicts_expired():
+            raise BudgetExhausted("conflicts", where)
+
+    # -- per-call translation ---------------------------------------------
+
+    def call_conflict_budget(self, cap: int | None = None) -> int | None:
+        """Conflict budget to hand one SAT call.
+
+        The remaining shared conflicts, optionally capped by the caller's
+        own per-call default.  Returns at least 1 when a limit exists so a
+        fully spent budget makes the solver return UNKNOWN immediately
+        rather than tripping a zero-means-unlimited convention.
+        """
+        remaining = self.remaining_conflicts()
+        if remaining is None:
+            return cap
+        if cap is not None:
+            remaining = min(remaining, cap)
+        return max(1, remaining)
+
+    # -- splitting ---------------------------------------------------------
+
+    def split(self, parts: int) -> list["Budget"]:
+        """Divide the *remaining* conflicts into *parts* child budgets.
+
+        Children share this budget's absolute deadline (wall-clock time is
+        a global resource; splitting it would under-use slack left by fast
+        siblings) but receive disjoint, linked conflict slices: charging a
+        child also charges this parent.
+        """
+        if parts <= 0:
+            raise ValueError("parts must be positive")
+        remaining = self.remaining_conflicts()
+        children = []
+        for i in range(parts):
+            if remaining is None:
+                slice_ = None
+            else:
+                slice_ = remaining // parts + (1 if i < remaining % parts else 0)
+            children.append(_ChildBudget(self, slice_))
+        return children
+
+
+class _ChildBudget(Budget):
+    """A conflict slice of a parent budget sharing the parent deadline."""
+
+    def __init__(self, parent: Budget, conflict_limit: int | None) -> None:
+        super().__init__(
+            deadline=parent.deadline,
+            conflict_limit=conflict_limit,
+            clock=parent._clock,
+        )
+        self._parent = parent
+
+    def charge_conflicts(self, count: int) -> None:
+        super().charge_conflicts(count)
+        self._parent.charge_conflicts(count)
+
+    def time_expired(self) -> bool:
+        # The parent's deadline may have been tightened after the split.
+        self.deadline = self._parent.deadline
+        return super().time_expired()

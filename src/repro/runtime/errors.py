@@ -1,0 +1,99 @@
+"""Structured exception taxonomy for the fault-tolerant runtime.
+
+Every recoverable failure mode of the optimization pipeline maps onto one
+of three exception families, so callers (most importantly
+:func:`repro.opt.flow.run_flow`) can implement precise policies instead of
+catching bare ``Exception``:
+
+* :class:`BudgetExhausted` — a shared :class:`repro.runtime.budget.Budget`
+  ran out of wall-clock time or SAT conflicts.  Anytime algorithms raise
+  (or return partial results flagged unproven) instead of hanging.
+* :class:`VerificationFailed` — a pass produced a network that is *not*
+  functionally equivalent to its input.  Carries the counterexample when
+  one is known.
+* :class:`CorruptArtifact` — an on-disk artifact (``.npy`` cache, NPN
+  JSONL database, checkpoint) failed to load or failed validation.  The
+  loading helpers quarantine the bad file and regenerate where possible;
+  this exception is raised only when regeneration is impossible.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproRuntimeError",
+    "BudgetExhausted",
+    "VerificationFailed",
+    "CorruptArtifact",
+]
+
+
+class ReproRuntimeError(Exception):
+    """Base class of all structured runtime errors."""
+
+
+class BudgetExhausted(ReproRuntimeError):
+    """A shared time/conflict budget ran out before the work completed.
+
+    ``kind`` is ``"time"`` or ``"conflicts"``; ``where`` names the pass or
+    call site that hit the limit.
+    """
+
+    def __init__(self, kind: str, where: str = "", detail: str = "") -> None:
+        self.kind = kind
+        self.where = where
+        self.detail = detail
+        msg = f"{kind} budget exhausted"
+        if where:
+            msg += f" in {where}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class VerificationFailed(ReproRuntimeError):
+    """A rewrite produced a functionally different network.
+
+    ``counterexample`` maps PI names to boolean values when a concrete
+    distinguishing input is known (SAT CEC or sampled simulation), and is
+    ``None`` for exhaustive-simulation mismatches where no single pattern
+    was isolated.
+    """
+
+    def __init__(
+        self,
+        step: str = "",
+        method: str = "",
+        counterexample: dict[str, bool] | None = None,
+    ) -> None:
+        self.step = step
+        self.method = method
+        self.counterexample = counterexample
+        msg = "rewrite verification failed"
+        if step:
+            msg += f" after step {step!r}"
+        if method:
+            msg += f" [{method}]"
+        if counterexample is not None:
+            msg += f"; counterexample {counterexample}"
+        super().__init__(msg)
+
+
+class CorruptArtifact(ReproRuntimeError):
+    """An on-disk artifact is unreadable or failed validation.
+
+    ``path`` locates the artifact; ``quarantined_to`` is set when the bad
+    file was moved aside rather than deleted.
+    """
+
+    def __init__(
+        self, path: str, reason: str = "", quarantined_to: str | None = None
+    ) -> None:
+        self.path = str(path)
+        self.reason = reason
+        self.quarantined_to = quarantined_to
+        msg = f"corrupt artifact {self.path}"
+        if reason:
+            msg += f": {reason}"
+        if quarantined_to:
+            msg += f" (quarantined to {quarantined_to})"
+        super().__init__(msg)

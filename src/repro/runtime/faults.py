@@ -1,0 +1,92 @@
+"""Fault injection for testing the fault-tolerant runtime.
+
+The rollback / quarantine / budget machinery is only trustworthy if it is
+exercised against *real* failures, so production code carries explicit,
+zero-cost-when-idle fault hooks.  Tests arm them with the
+:func:`inject` context manager::
+
+    with inject("flow.wrong-rewrite"):
+        result, history = run_flow(mig, db, ["BF"], verify="sim",
+                                   on_error="rollback")
+    assert history[0].status == "rolled-back"
+
+Registered fault points (grep for ``fault_active`` to find the hooks):
+
+``solver.timeout``
+    :meth:`repro.sat.solver.Solver.solve` returns UNKNOWN immediately, as
+    if the conflict budget were exhausted on entry.
+``db.corrupt-entry``
+    :meth:`repro.database.npn_db.NpnDatabase.lookup` returns an entry
+    whose gate structure has been silently corrupted (output inverted),
+    modeling a bad database row reaching the rewriting engine.
+``flow.wrong-rewrite``
+    :func:`repro.opt.flow.run_flow` inverts the first output of a step's
+    result, modeling a miscompiling pass.
+
+Each armed fault fires ``times`` times (default: unlimited within the
+``with`` block) and counts its activations for assertions.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["inject", "fault_active", "fired_count", "reset"]
+
+# name -> remaining activations (None = unlimited while armed)
+_armed: dict[str, int | None] = {}
+_fired: dict[str, int] = {}
+
+
+def fault_active(name: str) -> bool:
+    """Check-and-consume: True when fault *name* should fire now.
+
+    Called from production hook points; O(1) dict probe when nothing is
+    armed, so the hooks are effectively free outside tests.
+    """
+    if name not in _armed:
+        return False
+    remaining = _armed[name]
+    if remaining is not None:
+        if remaining <= 0:
+            return False
+        _armed[name] = remaining - 1
+    _fired[name] = _fired.get(name, 0) + 1
+    return True
+
+
+def fired_count(name: str) -> int:
+    """How many times fault *name* has fired since the last reset."""
+    return _fired.get(name, 0)
+
+
+def reset() -> None:
+    """Disarm every fault and clear fire counters."""
+    _armed.clear()
+    _fired.clear()
+
+
+@contextmanager
+def inject(name: str, times: int | None = None) -> Iterator[None]:
+    """Arm fault *name* for the duration of the block.
+
+    *times* bounds how often it fires (``None`` = every probe).  Nested
+    injections of the same name restore the previous arming on exit.
+    """
+    previous = _armed.get(name, _MISSING)
+    _armed[name] = times
+    try:
+        yield
+    finally:
+        if previous is _MISSING:
+            _armed.pop(name, None)
+        else:
+            _armed[name] = previous
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()

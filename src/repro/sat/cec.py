@@ -10,9 +10,13 @@ counterexample.  Complements the simulation-based checks of
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.mig import Mig
 from .cnf import CnfBuilder
+
+if TYPE_CHECKING:
+    from ..runtime.budget import Budget
 
 __all__ = ["CecResult", "check_equivalence_sat"]
 
@@ -44,11 +48,24 @@ def _encode_mig(builder: CnfBuilder, mig: Mig, pi_vars: list[int]) -> list[int]:
 
 
 def check_equivalence_sat(
-    mig1: Mig, mig2: Mig, conflict_budget: int | None = None
+    mig1: Mig,
+    mig2: Mig,
+    conflict_budget: int | None = None,
+    budget: "Budget | None" = None,
 ) -> CecResult:
-    """Prove or refute equivalence of two MIGs with identical interfaces."""
+    """Prove or refute equivalence of two MIGs with identical interfaces.
+
+    A shared :class:`repro.runtime.budget.Budget` bounds the solve by its
+    wall-clock deadline and (when *conflict_budget* is not given) by its
+    remaining conflicts; the conflicts spent are charged back to it.
+    """
     if mig1.num_pis != mig2.num_pis or mig1.num_pos != mig2.num_pos:
         raise ValueError("CEC requires matching PI/PO counts")
+    deadline = None
+    if budget is not None:
+        deadline = budget.deadline
+        if conflict_budget is None:
+            conflict_budget = budget.call_conflict_budget()
     builder = CnfBuilder()
     pi_vars = builder.new_vars(mig1.num_pis)
     outs1 = _encode_mig(builder, mig1, pi_vars)
@@ -59,8 +76,10 @@ def check_equivalence_sat(
         builder.xor_gate(d, o1, o2)
         diff_lits.append(d)
     builder.at_least_one(diff_lits)
-    answer = builder.solve(conflict_budget=conflict_budget)
+    answer = builder.solve(conflict_budget=conflict_budget, deadline=deadline)
     conflicts = builder.solver.conflicts
+    if budget is not None:
+        budget.charge_conflicts(conflicts)
     if answer is None:
         return CecResult(None, None, conflicts)
     if answer is False:

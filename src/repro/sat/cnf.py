@@ -115,10 +115,17 @@ class CnfBuilder:
     # -- solving ---------------------------------------------------------------
 
     def solve(
-        self, assumptions: Sequence[int] = (), conflict_budget: int | None = None
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: int | None = None,
+        deadline: float | None = None,
     ) -> bool | None:
         """Solve the accumulated formula."""
-        return self.solver.solve(assumptions=assumptions, conflict_budget=conflict_budget)
+        return self.solver.solve(
+            assumptions=assumptions,
+            conflict_budget=conflict_budget,
+            deadline=deadline,
+        )
 
     def value(self, lit: int) -> bool:
         """Model value of a literal after a SAT answer."""

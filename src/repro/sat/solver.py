@@ -22,9 +22,15 @@ Variables are positive integers; literals follow the DIMACS convention
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Iterable, Sequence
 
+from ..runtime.faults import fault_active
+
 __all__ = ["Solver", "SAT", "UNSAT", "UNKNOWN"]
+
+#: conflicts between deadline polls — keeps clock reads off the hot path
+_DEADLINE_CHECK_INTERVAL = 64
 
 SAT = True
 UNSAT = False
@@ -403,15 +409,21 @@ class Solver:
         self,
         assumptions: Sequence[int] = (),
         conflict_budget: int | None = None,
+        deadline: float | None = None,
     ) -> bool | None:
         """Solve the formula.
 
         Returns ``True`` (SAT, model available), ``False`` (UNSAT), or
-        ``None`` when *conflict_budget* conflicts were spent without an
-        answer.
+        ``None`` when *conflict_budget* conflicts were spent — or the
+        wall-clock *deadline* (a ``time.monotonic()`` instant) passed —
+        without an answer.
         """
+        if fault_active("solver.timeout"):
+            return UNKNOWN
         if not self._ok:
             return UNSAT
+        if deadline is not None and time.monotonic() >= deadline:
+            return UNKNOWN
         self._cancel_until(0)
         if self.propagate() is not None:
             self._ok = False
@@ -426,6 +438,8 @@ class Solver:
             restart_count += 1
             conflicts_here = 0
             self._cancel_until(0)
+            if deadline is not None and time.monotonic() >= deadline:
+                return UNKNOWN
             # Re-apply assumptions after each restart.
             status = self._apply_assumptions(assumptions)
             if status is not None:
@@ -441,6 +455,13 @@ class Solver:
                         if budget <= 0:
                             self._cancel_until(0)
                             return UNKNOWN
+                    if (
+                        deadline is not None
+                        and self.conflicts % _DEADLINE_CHECK_INTERVAL == 0
+                        and time.monotonic() >= deadline
+                    ):
+                        self._cancel_until(0)
+                        return UNKNOWN
                     if self._decision_level() <= len(self._assumption_levels):
                         # Conflict under assumptions only (or at root).
                         if self._decision_level() == 0:

@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import subprocess
+import sys
+import time
+
 import pytest
 
 from repro.core.npn import enumerate_npn_classes
@@ -58,6 +64,96 @@ class TestSatPhase:
         stats = improve_with_sat(db, budget=1000)
         assert stats["visited"] == 0  # everything already proven
         assert {rep: e.size for rep, e in db.entries.items()} == before
+
+
+class TestCrashSafeGeneration:
+    """Killed generation runs must leave loadable, resumable artifacts."""
+
+    def test_interrupted_tree_phase_resumes(self, tmp_path, monkeypatch):
+        import repro.database.generate as gen
+
+        out = tmp_path / "npn3.jsonl"
+
+        class Killed(Exception):
+            pass
+
+        real = gen.TreeSynthesizer
+        state = {"n": 0}
+
+        class Killer(real):
+            def synthesize(self, rep):
+                if state["n"] >= 6:
+                    raise Killed()
+                state["n"] += 1
+                return super().synthesize(rep)
+
+        monkeypatch.setattr(gen, "TreeSynthesizer", Killer)
+        with pytest.raises(Killed):
+            gen.generate_tree_database(3, out_path=out, checkpoint_every=2)
+        monkeypatch.setattr(gen, "TreeSynthesizer", real)
+
+        # The checkpoint loads cleanly and holds only verified classes.
+        partial = NpnDatabase.load(out, num_vars=3)
+        partial.verify()
+        assert 0 < len(partial) < 14
+
+        # Resuming fills in exactly the missing classes.
+        db = generate_tree_database(3, out_path=out, resume=partial)
+        assert len(db) == 14
+        db.verify()
+        reloaded = NpnDatabase.load(out, num_vars=3)
+        assert len(reloaded) == 14
+        reloaded.verify()
+
+    def test_resume_after_truncated_append(self, tmp_path):
+        out = tmp_path / "npn3.jsonl"
+        generate_tree_database(3, out_path=out)
+        # Simulate a kill mid-append: chop the last line in half.
+        text = out.read_text()
+        out.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        with pytest.warns(UserWarning):
+            partial = NpnDatabase.load(out, num_vars=3)
+        assert partial.skipped_lines == 1
+        assert len(partial) == 13
+        db = generate_tree_database(3, out_path=out, resume=partial)
+        assert len(db) == 14
+        db.verify()
+
+    def test_sigkilled_subprocess_leaves_loadable_artifact(self, tmp_path):
+        """Acceptance criterion: SIGKILL mid-run, artifact loads, resume works."""
+        out = tmp_path / "npn4.jsonl"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.database.generate",
+             "--out", str(out), "--sat-seconds", "60", "--budget", "500", "--quiet"],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait for the first checkpoint, then kill hard mid-run.
+            deadline = time.time() + 60
+            while time.time() < deadline and not out.exists():
+                time.sleep(0.1)
+            assert out.exists(), "generation produced no checkpoint within 60s"
+            time.sleep(0.5)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        # Atomic checkpointing: whatever instant the kill hit, the file is
+        # complete JSONL of verified entries.
+        partial = NpnDatabase.load(out, num_vars=4)
+        assert partial.skipped_lines == 0
+        assert len(partial) > 0
+        partial.verify()
+
+        # Resume completes the tree phase from the checkpoint.
+        db = generate_tree_database(4, out_path=out, resume=partial)
+        assert len(db) == 222
+        NpnDatabase.load(out, num_vars=4).verify()
 
 
 class TestShippedDatabaseProvenance:

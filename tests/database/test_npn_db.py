@@ -140,6 +140,39 @@ class TestSerialization:
         assert not empty.complete
 
 
+class TestMalformedJsonl:
+    """Interrupted appends and bit-rot must not abort a load mid-file."""
+
+    def test_truncated_last_line_skipped(self, db):
+        reps = sorted(db.entries)[:3]
+        lines = [entry_to_json(db.entries[r]) for r in reps]
+        text = "\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2]
+        with pytest.warns(UserWarning, match="malformed line 3"):
+            loaded = NpnDatabase.from_jsonl(io.StringIO(text))
+        assert len(loaded) == 2
+        assert loaded.skipped_lines == 1
+
+    def test_garbage_lines_skipped(self, db):
+        entry = next(iter(db.entries.values()))
+        text = "not json at all\n" + entry_to_json(entry) + "\n{\"rep\": \"0x0\"}\n"
+        with pytest.warns(UserWarning):
+            loaded = NpnDatabase.from_jsonl(io.StringIO(text))
+        assert len(loaded) == 1
+        assert loaded.skipped_lines == 2
+
+    def test_clean_file_reports_zero_skips(self, db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        db.save(path)
+        loaded = NpnDatabase.load(path)
+        assert loaded.skipped_lines == 0
+
+    def test_atomic_save_leaves_no_temp_files(self, db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        db.save(path)
+        db.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["db.jsonl"]
+
+
 class TestDbEntry:
     def test_from_mig_requires_single_output(self, full_adder):
         with pytest.raises(ValueError):

@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.simulate import check_equivalence
 from repro.generators import epfl
 from repro.opt.flow import optimize_until_convergence, run_flow
+from repro.runtime import faults
+from repro.runtime.budget import Budget
+from repro.runtime.errors import VerificationFailed
 
 
 class TestRunFlow:
@@ -50,6 +55,100 @@ class TestRunFlow:
         mig = epfl.square(4)
         result, _ = run_flow(mig, db, ["bf"])
         assert check_equivalence(mig, result)
+
+
+class TestRollback:
+    """Fault injection: a miscompiling pass is detected and rolled back."""
+
+    def teardown_method(self):
+        faults.reset()
+
+    def test_wrong_rewrite_rolled_back(self, db):
+        mig = epfl.square_root(6)
+        with faults.inject("flow.wrong-rewrite", times=1):
+            result, history = run_flow(
+                mig, db, ["depth", "BF"], verify="sim", on_error="rollback"
+            )
+        # The corrupted step was caught; the flow continued and the final
+        # network is still equivalent to the input.
+        statuses = [s.status for s in history]
+        assert statuses == ["rolled-back", "ok"]
+        assert history[0].error is not None
+        assert check_equivalence(mig, result)
+
+    def test_wrong_rewrite_raises_by_default(self, db):
+        mig = epfl.square_root(6)
+        with faults.inject("flow.wrong-rewrite", times=1):
+            with pytest.raises(VerificationFailed):
+                run_flow(mig, db, ["BF"], verify="sim")
+
+    def test_rolled_back_step_keeps_pre_step_sizes(self, db):
+        mig = epfl.adder(6)
+        with faults.inject("flow.wrong-rewrite", times=1):
+            _, history = run_flow(
+                mig, db, ["BF"], verify="sim", on_error="rollback"
+            )
+        assert history[0].status == "rolled-back"
+        assert history[0].size_after == mig.num_gates
+        assert history[0].depth_after == mig.depth()
+
+    def test_corrupt_db_entry_caught(self, db):
+        """A corrupt database row reaching the rewriter is a miscompile."""
+        mig = epfl.multiplier(4)
+        with faults.inject("db.corrupt-entry"):
+            result, history = run_flow(
+                mig, db, ["BF"], verify="sim", on_error="rollback"
+            )
+        assert history[0].status == "rolled-back"
+        assert check_equivalence(mig, result)
+
+    def test_verification_off_misses_fault(self, db):
+        """Control: without verification the corrupted result sails through."""
+        mig = epfl.adder(6)
+        with faults.inject("flow.wrong-rewrite", times=1):
+            result, history = run_flow(
+                mig, db, ["BF"], verify="off", on_error="rollback"
+            )
+        assert history[0].status == "ok"
+        assert not check_equivalence(mig, result)
+
+
+class TestBudgetedFlow:
+    def test_expired_budget_skips_steps(self, db):
+        mig = epfl.adder(8)
+        budget = Budget.from_limits(time_limit=0.0)
+        result, history = run_flow(mig, db, ["depth", "BF"], budget=budget)
+        assert [s.status for s in history] == ["timeout", "timeout"]
+        assert result.num_gates == mig.num_gates
+
+    def test_two_second_budget_returns_in_time(self, db):
+        """Acceptance criterion: partial results within the wall budget."""
+        mig = epfl.log2(8)
+        budget = Budget.from_limits(time_limit=2.0)
+        start = time.monotonic()
+        result, history = run_flow(
+            mig, db, ["depth", "BF", "TFD", "fraig", "BF", "TFD", "BF", "TFD"],
+            budget=budget, verify="sim", on_error="rollback",
+        )
+        elapsed = time.monotonic() - start
+        # Steps checked between passes + deadline-aware SAT calls: allow
+        # one slow step of slack but nowhere near the unbudgeted runtime.
+        assert elapsed < 8.0
+        assert len(history) == 8
+        assert any(s.status == "ok" for s in history) or all(
+            s.status == "timeout" for s in history
+        )
+        assert check_equivalence(mig, result)
+
+    def test_statuses_default_ok(self, db):
+        mig = epfl.adder(4)
+        _, history = run_flow(mig, db, ["strash"])
+        assert history[0].status == "ok"
+        assert history[0].verified == "off"
+
+    def test_bad_policy_rejected(self, db):
+        with pytest.raises(ValueError):
+            run_flow(epfl.adder(4), db, ["strash"], on_error="ignore")
 
 
 class TestConvergence:

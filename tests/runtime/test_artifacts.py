@@ -1,0 +1,102 @@
+"""Tests for crash-safe artifact writes, validated loads, and quarantine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.artifacts import (
+    atomic_save_npy,
+    atomic_write_text,
+    load_validated_npy,
+    quarantine,
+)
+from repro.runtime.errors import CorruptArtifact
+
+
+class TestAtomicWrites:
+    def test_roundtrip_text(self, tmp_path):
+        path = tmp_path / "x.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+        atomic_write_text(path, "replaced\n")
+        assert path.read_text() == "replaced\n"
+
+    def test_no_temp_droppings(self, tmp_path):
+        path = tmp_path / "x.txt"
+        atomic_write_text(path, "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.txt"]
+
+    def test_npy_roundtrip(self, tmp_path):
+        path = tmp_path / "t.npy"
+        table = np.arange(256, dtype=np.uint8)
+        atomic_save_npy(path, table)
+        loaded = load_validated_npy(path, expected_shape=(256,), expected_dtype=np.uint8)
+        assert loaded is not None and (loaded == table).all()
+
+
+class TestValidatedLoad:
+    def test_missing_file(self, tmp_path):
+        assert load_validated_npy(tmp_path / "absent.npy") is None
+
+    def test_garbage_quarantined(self, tmp_path):
+        path = tmp_path / "t.npy"
+        path.write_bytes(b"not an npy file at all")
+        assert load_validated_npy(path) is None
+        assert not path.exists()
+        assert (tmp_path / "t.npy.corrupt").exists()
+
+    def test_truncated_quarantined(self, tmp_path):
+        path = tmp_path / "t.npy"
+        atomic_save_npy(path, np.arange(1000, dtype=np.uint8))
+        path.write_bytes(path.read_bytes()[:100])  # simulate a torn write
+        assert load_validated_npy(path, expected_shape=(1000,)) is None
+        assert (tmp_path / "t.npy.corrupt").exists()
+
+    def test_wrong_shape_quarantined(self, tmp_path):
+        path = tmp_path / "t.npy"
+        atomic_save_npy(path, np.zeros(10, dtype=np.uint8))
+        assert load_validated_npy(path, expected_shape=(256,)) is None
+        assert (tmp_path / "t.npy.corrupt").exists()
+
+    def test_wrong_dtype_quarantined(self, tmp_path):
+        path = tmp_path / "t.npy"
+        atomic_save_npy(path, np.zeros(16, dtype=np.float64))
+        assert load_validated_npy(path, expected_shape=(16,), expected_dtype=np.uint8) is None
+
+    def test_raise_mode(self, tmp_path):
+        path = tmp_path / "t.npy"
+        path.write_bytes(b"garbage")
+        with pytest.raises(CorruptArtifact):
+            load_validated_npy(path, on_corrupt="raise")
+        assert path.exists()  # raise mode does not quarantine
+
+    def test_quarantine_numbering(self, tmp_path):
+        path = tmp_path / "t.npy"
+        for _ in range(3):
+            path.write_bytes(b"bad")
+            quarantine(path)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["t.npy.corrupt", "t.npy.corrupt.1", "t.npy.corrupt.2"]
+
+
+class TestCachedLengthTableRecovery:
+    def test_corrupt_cache_quarantined_and_regenerated(self, tmp_path, monkeypatch):
+        """End-to-end satellite: a corrupt length cache heals itself."""
+        import repro.exact.complexity as complexity
+
+        data_dir = tmp_path / "database" / "data"
+        data_dir.mkdir(parents=True)
+        # Point the cache at a temp clone of the package layout.
+        fake_pkg = tmp_path / "exact" / "complexity.py"
+        monkeypatch.setattr(complexity, "__file__", str(fake_pkg))
+        bad = data_dir / "length3.npy"
+        bad.write_bytes(b"\x93NUMPY corrupted beyond recognition")
+
+        table = complexity.cached_length_table(3)
+        assert table.shape == (256,)
+        assert int(table.max()) == 4  # Table II: L <= 4 for 3 variables
+        # The bad cache was quarantined and a fresh valid one written.
+        assert (data_dir / "length3.npy.corrupt").exists()
+        reloaded = np.load(data_dir / "length3.npy")
+        assert (reloaded == table).all()

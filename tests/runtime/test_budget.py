@@ -1,0 +1,95 @@
+"""Tests for the shared time/conflict budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.budget import Budget
+from repro.runtime.errors import BudgetExhausted
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTimeBudget:
+    def test_unlimited_never_expires(self):
+        b = Budget.unlimited()
+        assert not b.expired()
+        assert b.remaining_time() is None
+        assert b.remaining_conflicts() is None
+        b.check()  # must not raise
+
+    def test_deadline_expiry(self):
+        clock = FakeClock()
+        b = Budget.from_limits(time_limit=5.0, clock=clock)
+        assert not b.expired()
+        assert b.remaining_time() == pytest.approx(5.0)
+        clock.advance(4.0)
+        assert not b.time_expired()
+        clock.advance(2.0)
+        assert b.time_expired()
+        assert b.remaining_time() == 0.0
+        with pytest.raises(BudgetExhausted) as exc:
+            b.check("unit-test")
+        assert exc.value.kind == "time"
+        assert "unit-test" in str(exc.value)
+
+
+class TestConflictBudget:
+    def test_charging(self):
+        b = Budget.from_limits(conflict_limit=100)
+        b.charge_conflicts(40)
+        assert b.remaining_conflicts() == 60
+        b.charge_conflicts(70)
+        assert b.remaining_conflicts() == 0
+        assert b.conflicts_expired()
+        with pytest.raises(BudgetExhausted) as exc:
+            b.check()
+        assert exc.value.kind == "conflicts"
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Budget.unlimited().charge_conflicts(-1)
+
+    def test_call_budget_caps_and_floors(self):
+        b = Budget.from_limits(conflict_limit=100)
+        assert b.call_conflict_budget() == 100
+        assert b.call_conflict_budget(cap=30) == 30
+        b.charge_conflicts(100)
+        # Spent budget still hands the solver a positive (tiny) budget so
+        # it returns UNKNOWN instead of running unlimited.
+        assert b.call_conflict_budget() == 1
+        assert Budget.unlimited().call_conflict_budget() is None
+        assert Budget.unlimited().call_conflict_budget(cap=7) == 7
+
+
+class TestSplit:
+    def test_split_shares_deadline_and_slices_conflicts(self):
+        clock = FakeClock()
+        b = Budget.from_limits(time_limit=10.0, conflict_limit=100, clock=clock)
+        kids = b.split(3)
+        assert [k.conflict_limit for k in kids] == [34, 33, 33]
+        assert all(k.deadline == b.deadline for k in kids)
+
+    def test_child_charges_parent(self):
+        b = Budget.from_limits(conflict_limit=100)
+        child = b.split(2)[0]
+        child.charge_conflicts(20)
+        assert child.remaining_conflicts() == 30
+        assert b.remaining_conflicts() == 80
+
+    def test_split_unlimited(self):
+        kids = Budget.unlimited().split(2)
+        assert all(k.remaining_conflicts() is None for k in kids)
+
+    def test_split_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Budget.unlimited().split(0)

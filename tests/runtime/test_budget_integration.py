@@ -1,0 +1,65 @@
+"""Budget exhaustion must degrade SAT-backed passes gracefully."""
+
+from __future__ import annotations
+
+from repro.core.simulate import check_equivalence
+from repro.exact.synthesis import ExactSynthesizer
+from repro.generators import epfl
+from repro.opt.fraig import fraig
+from repro.runtime.budget import Budget
+
+
+class TestExactSynthesisBudget:
+    def test_exhausted_budget_degrades_to_upper_bound(self):
+        # 0x1668 needs several gates; with an effectively spent budget the
+        # synthesizer must fall back to the provided upper bound.
+        budget = Budget.from_limits(conflict_limit=1)
+        budget.charge_conflicts(1)
+        from repro.exact.trees import TreeSynthesizer
+
+        spec = 0x1668
+        upper = TreeSynthesizer(4).synthesize(spec)
+        synth = ExactSynthesizer(budget=budget)
+        result = synth.synthesize(spec, 4, upper_bound=upper)
+        assert result.proven is False
+        assert result.mig is upper
+        assert result.size == upper.num_gates
+        assert "unknown" in result.k_outcomes.values()
+
+    def test_exhausted_budget_without_upper_bound(self):
+        budget = Budget.from_limits(conflict_limit=1)
+        budget.charge_conflicts(1)
+        result = ExactSynthesizer(budget=budget).synthesize(0x1668, 4)
+        assert result.proven is False
+        assert result.mig is None
+
+    def test_trivial_specs_ignore_budget(self):
+        budget = Budget.from_limits(conflict_limit=1)
+        budget.charge_conflicts(1)
+        result = ExactSynthesizer(budget=budget).synthesize(0x0, 4)
+        assert result.proven is True and result.size == 0
+
+    def test_generous_budget_still_solves_and_charges(self):
+        budget = Budget.from_limits(conflict_limit=10_000_000)
+        result = ExactSynthesizer(budget=budget).synthesize(0x6, 2)  # XOR
+        assert result.proven is True and result.size == 3
+        assert budget.conflicts_spent == result.conflicts
+
+
+class TestFraigBudget:
+    def test_expired_budget_keeps_network_sound(self):
+        mig = epfl.sine(6)
+        budget = Budget.from_limits(time_limit=0.0)
+        swept = fraig(mig, budget=budget)
+        # No proofs possible -> no merges beyond structural hashing, but
+        # the result must still be equivalent and no larger.
+        assert check_equivalence(mig, swept)
+        assert swept.num_gates <= mig.num_gates
+
+    def test_budgeted_fraig_matches_unbudgeted_when_generous(self):
+        mig = epfl.sine(6)
+        budget = Budget.from_limits(conflict_limit=10_000_000, time_limit=60.0)
+        swept = fraig(mig, budget=budget)
+        reference = fraig(mig)
+        assert check_equivalence(mig, swept)
+        assert swept.num_gates == reference.num_gates

@@ -1,0 +1,54 @@
+"""Tests for the fault-injection registry and the solver timeout hook."""
+
+from __future__ import annotations
+
+from repro.runtime import faults
+from repro.sat.solver import Solver
+
+
+class TestRegistry:
+    def setup_method(self):
+        faults.reset()
+
+    def teardown_method(self):
+        faults.reset()
+
+    def test_inactive_by_default(self):
+        assert not faults.fault_active("solver.timeout")
+        assert faults.fired_count("solver.timeout") == 0
+
+    def test_inject_scoped(self):
+        with faults.inject("x"):
+            assert faults.fault_active("x")
+            assert faults.fault_active("x")
+        assert not faults.fault_active("x")
+        assert faults.fired_count("x") == 2
+
+    def test_inject_times_bounded(self):
+        with faults.inject("x", times=1):
+            assert faults.fault_active("x")
+            assert not faults.fault_active("x")
+        assert faults.fired_count("x") == 1
+
+    def test_nested_injection_restores(self):
+        with faults.inject("x", times=5):
+            with faults.inject("x", times=1):
+                assert faults.fault_active("x")
+                assert not faults.fault_active("x")
+            # Outer arming (5 shots) restored.
+            assert faults.fault_active("x")
+
+
+class TestSolverTimeoutFault:
+    def teardown_method(self):
+        faults.reset()
+
+    def test_forced_timeout(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        with faults.inject("solver.timeout"):
+            assert s.solve() is None
+        # Disarmed: the same instance solves normally.
+        assert s.solve() is True
+        assert s.model_value(a)
