@@ -48,7 +48,7 @@ def build_table3(table3_runs) -> tuple[str, dict[str, tuple[float, float]]]:
         ]
         for variant in PAPER_VARIANTS:
             res = run.variants[variant]
-            row += [str(res.size), str(res.depth), f"{res.runtime:.2f}"]
+            row += [str(res.size), str(res.depth), f"{res.stats.runtime:.2f}"]
             ratios[variant].append(
                 (
                     res.size / max(1, run.baseline_size),

@@ -10,7 +10,6 @@ the functional hashing algorithm only once").
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from harness import PAPER_VARIANTS, full_size
@@ -19,7 +18,7 @@ from repro.core.mig import Mig
 from repro.core.simulate import equivalent_random
 from repro.generators.epfl import arithmetic_suite
 from repro.opt.depth_opt import optimize_depth
-from repro.rewriting.engine import functional_hashing
+from repro.rewriting.engine import RewriteStats, functional_hashing
 
 
 @dataclass
@@ -28,6 +27,7 @@ class VariantResult:
     depth: int
     runtime: float
     mig: Mig
+    stats: RewriteStats
 
 
 @dataclass
@@ -46,13 +46,14 @@ def run_table3_flow(db, variants: tuple[str, ...] = PAPER_VARIANTS) -> list[Benc
         baseline = optimize_depth(mig, rounds=2)
         results: dict[str, VariantResult] = {}
         for variant in variants:
-            start = time.perf_counter()
-            optimized = functional_hashing(baseline, db, variant)
-            runtime = time.perf_counter() - start
+            optimized, stats = functional_hashing(
+                baseline, db, variant, return_stats=True
+            )
             if not equivalent_random(baseline, optimized, num_rounds=4):
                 raise AssertionError(f"{name}/{variant} changed functionality")
             results[variant] = VariantResult(
-                optimized.num_gates, optimized.depth(), runtime, optimized
+                optimized.num_gates, optimized.depth(), stats.runtime, optimized,
+                stats,
             )
         runs.append(
             BenchmarkRun(

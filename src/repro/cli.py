@@ -61,6 +61,18 @@ def _write_network(mig: Mig, path: str) -> None:
             write_blif(mig, fp)
 
 
+def _dump_metrics(path: str, payload: dict) -> None:
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(text + "\n")
+        print(f"metrics written to {path}")
+
+
 def _add_input_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--generate", help=f"built-in generator: {sorted(SUITE_SPECS)}")
     parser.add_argument("--width", type=int, help="generator bit-width override")
@@ -85,6 +97,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="check functional equivalence after optimization")
     p_opt.add_argument("-o", "--output", help="write the result (BLIF, or .v Verilog)")
     p_opt.add_argument("--db", help="path to an alternative NPN database")
+    p_opt.add_argument(
+        "--metrics", metavar="PATH",
+        help="dump hot-path pass metrics (counters, cache rates, phase "
+        "times) as JSON to PATH ('-' for stdout)",
+    )
 
     p_map = sub.add_parser("map", help="optimize then technology-map")
     _add_input_args(p_map)
@@ -122,6 +139,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_flow.add_argument("-o", "--output", help="write the result (BLIF/.v/.bench)")
     p_flow.add_argument("--db", help="path to an alternative NPN database")
+    p_flow.add_argument(
+        "--metrics", metavar="PATH",
+        help="dump per-step hot-path metrics and merged totals as JSON to "
+        "PATH ('-' for stdout)",
+    )
 
     p_exact = sub.add_parser("exact", help="exact synthesis of a truth table")
     p_exact.add_argument("--tt", required=True, help="truth table, e.g. 0x1668")
@@ -142,11 +164,15 @@ def main(argv: list[str] | None = None) -> int:
         db = NpnDatabase.load(args.db)
         baseline = optimize_depth(mig) if args.depth_opt else mig
         start = time.perf_counter()
-        optimized = functional_hashing(baseline, db, args.variant)
+        optimized, stats = functional_hashing(
+            baseline, db, args.variant, return_stats=True
+        )
         runtime = time.perf_counter() - start
         print(f"{mig.name}: {baseline.num_gates}/{baseline.depth()} -> "
               f"{optimized.num_gates}/{optimized.depth()} "
               f"({args.variant}, {runtime:.2f}s)")
+        if args.metrics:
+            _dump_metrics(args.metrics, stats.metrics.to_dict())
         if args.verify:
             ok = check_equivalence(baseline, optimized)
             print(f"equivalence: {'OK' if ok else 'FAILED'}")
@@ -185,6 +211,22 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"final: {result.num_gates}/{result.depth()} "
               f"({sum(step.runtime for step in history):.2f}s total)")
+        if args.metrics:
+            from .runtime.metrics import PassMetrics
+
+            totals = PassMetrics()
+            steps_payload = []
+            for stats in history:
+                entry = {"step": stats.step, "status": stats.status,
+                         "runtime": round(stats.runtime, 6)}
+                if stats.metrics is not None:
+                    entry["metrics"] = stats.metrics.to_dict()
+                    totals.merge(stats.metrics)
+                steps_payload.append(entry)
+            _dump_metrics(
+                args.metrics,
+                {"steps": steps_payload, "totals": totals.to_dict()},
+            )
         bad = [s for s in history if s.status != "ok"]
         if bad:
             summary = ", ".join(f"{s.step}={s.status}" for s in bad)

@@ -18,13 +18,39 @@ signature provides a quick lower bound on union cardinality, and dominated
 cuts (proper supersets of another cut of the same node) are pruned.  The
 ``cut_limit`` parameter bounds the number of cuts stored per node
 (priority cuts, ref. [11] of the paper).
+
+:func:`enumerate_cut_set` is the hot-path entry point used by the
+rewriters: it additionally records each cut's *provenance* (which fanin
+cuts it was merged from) so :meth:`CutSet.function` can derive cut truth
+tables incrementally — expanding and combining the fanin cut functions —
+instead of re-simulating the cut cone from scratch, and memoize them per
+``(node, leaves)`` across the pass.
+
+All traversals here are explicit-stack iterative so that deep (chain-
+shaped) networks never hit Python's recursion limit.
 """
 
 from __future__ import annotations
 
-from .mig import Mig
+from bisect import insort
 
-__all__ = ["enumerate_cuts", "cut_cone", "mffc_nodes", "mffc_size"]
+from ..runtime.metrics import PassMetrics
+from .mig import Mig
+from .truth_table import tt_maj, tt_mask
+
+__all__ = [
+    "CutSet",
+    "enumerate_cuts",
+    "enumerate_cut_set",
+    "cut_cone",
+    "cut_cone_nodes",
+    "SHARED_CONE",
+    "mffc_nodes",
+    "mffc_size",
+]
+
+#: Truth table of the single-variable projection x0 (trivial/PI cuts).
+_TT_X0 = 0b10
 
 
 def _signature(leaves: tuple[int, ...]) -> int:
@@ -35,23 +61,32 @@ def _signature(leaves: tuple[int, ...]) -> int:
 
 
 def _merge3(
-    set1: list[tuple[tuple[int, ...], int]],
-    set2: list[tuple[tuple[int, ...], int]],
-    set3: list[tuple[tuple[int, ...], int]],
+    set1: list[tuple[tuple[int, ...], int, int]],
+    set2: list[tuple[tuple[int, ...], int, int]],
+    set3: list[tuple[tuple[int, ...], int, int]],
     k: int,
-) -> list[tuple[tuple[int, ...], int]]:
-    """Saturating union ``⊗k`` over three cut sets, with domination pruning."""
-    result: dict[tuple[int, ...], int] = {}
-    for leaves1, sig1 in set1:
-        for leaves2, sig2 in set2:
+) -> list[tuple[tuple[int, ...], int, int, tuple]]:
+    """Saturating union ``⊗k`` over three cut sets, with domination pruning.
+
+    Inputs are ``(leaves, signature, cone_size)`` triples; the result adds
+    the provenance ``(leaves1, leaves2, leaves3)`` that produced each
+    union — the raw material for incremental cut functions.  The merged
+    cone size is ``1 + size1 + size2 + size3``; it equals the true cone
+    gate count only when the fanin cones are disjoint, which the
+    FFR-restricted enumeration mode guarantees (see :func:`_enumerate`).
+    """
+    result: dict[tuple[int, ...], tuple[int, int, tuple]] = {}
+    for leaves1, sig1, size1 in set1:
+        base1 = set(leaves1)
+        for leaves2, sig2, size2 in set2:
             sig12 = sig1 | sig2
             if sig12.bit_count() > k:
                 continue
-            union12 = set(leaves1)
-            union12.update(leaves2)
+            union12 = base1.union(leaves2)
             if len(union12) > k:
                 continue
-            for leaves3, sig3 in set3:
+            size12 = 1 + size1 + size2
+            for leaves3, sig3, size3 in set3:
                 sig = sig12 | sig3
                 if sig.bit_count() > k:
                     continue
@@ -59,28 +94,121 @@ def _merge3(
                 if len(union) > k:
                     continue
                 leaves = tuple(sorted(union))
-                result[leaves] = _signature(leaves)
-    return _prune_dominated(list(result.items()))
+                if leaves not in result:
+                    # The signature of the union is the OR of the parts.
+                    result[leaves] = (
+                        sig, size12 + size3, (leaves1, leaves2, leaves3)
+                    )
+    return _prune_dominated(
+        [
+            (leaves, sig, size, prov)
+            for leaves, (sig, size, prov) in result.items()
+        ]
+    )
 
 
 def _prune_dominated(
-    cuts: list[tuple[tuple[int, ...], int]],
-) -> list[tuple[tuple[int, ...], int]]:
+    cuts: list[tuple[tuple[int, ...], int, int, tuple]],
+) -> list[tuple[tuple[int, ...], int, int, tuple]]:
     """Remove cuts that are proper supersets of another cut in the list."""
     cuts.sort(key=lambda item: len(item[0]))
-    kept: list[tuple[tuple[int, ...], int]] = []
-    for leaves, sig in cuts:
-        leaf_set = set(leaves)
+    kept: list[tuple[tuple[int, ...], int, int, tuple]] = []
+    for entry in cuts:
+        leaves, sig = entry[0], entry[1]
+        leaf_set = None
         dominated = False
-        for other, other_sig in kept:
-            if other_sig & ~sig:
+        for other in kept:
+            if other[1] & ~sig or len(other[0]) >= len(leaves):
                 continue
-            if len(other) < len(leaves) and leaf_set.issuperset(other):
+            if leaf_set is None:
+                leaf_set = set(leaves)
+            if leaf_set.issuperset(other[0]):
                 dominated = True
                 break
         if not dominated:
-            kept.append((leaves, sig))
+            kept.append(entry)
     return kept
+
+
+def _enumerate(
+    mig: Mig,
+    k: int,
+    cut_limit: int,
+    include_trivial: bool,
+    metrics: PassMetrics | None,
+    ffr_fanout: list[int] | None = None,
+) -> tuple[list[list[tuple[int, ...]]], dict, dict]:
+    """Shared enumeration core.
+
+    Returns per-node cut lists, cut provenance, and per-cut cone sizes.
+
+    With *ffr_fanout* (a fanout-count list), enumeration is restricted to
+    fanout-free cuts: merging never expands through a gate with fanout
+    other than 1 — such a gate contributes only its trivial cut, i.e. it
+    becomes a leaf.  This is the paper's "partition at FFR boundaries"
+    formulation of the F-variants: every enumerated cut is fanout-free by
+    construction (so rewriters skip the per-cut cone walk entirely), the
+    cubic merge space shrinks at every shared fanin, and — because the
+    restricted cones are trees — the exact cone gate count falls out of
+    the merge for free (``cone_sizes``).  In unrestricted mode the size
+    entries over-count shared gates and ``cone_sizes`` is empty.
+    """
+    if k < 1:
+        raise ValueError("cut size k must be at least 1")
+    num_nodes = mig.num_nodes
+    work: list[list[tuple[tuple[int, ...], int, int]]] = [
+        [] for _ in range(num_nodes)
+    ]
+    work[0] = [((), 0, 0)]
+    for node in range(1, mig.num_pis + 1):
+        leaves = (node,)
+        work[node] = [(leaves, _signature(leaves), 0)]
+    provenance: dict[tuple[int, tuple[int, ...]], tuple] = {}
+    cone_sizes: dict[tuple[int, tuple[int, ...]], int] = {}
+    num_pis = mig.num_pis
+    total_cuts = 0
+    for node in mig.gates():
+        fanins = mig.fanins(node)
+        sources = []
+        for s in fanins:
+            child = s >> 1
+            if (
+                ffr_fanout is not None
+                and child > num_pis
+                and ffr_fanout[child] != 1
+            ):
+                # Shared gate: a leaf, never expanded through.
+                trivial = (child,)
+                sources.append([(trivial, _signature(trivial), 0)])
+            else:
+                sources.append(work[child])
+        merged = _merge3(sources[0], sources[1], sources[2], k)
+        if len(merged) > cut_limit:
+            merged = merged[:cut_limit]
+        entries = [(leaves, sig, size) for leaves, sig, size, _ in merged]
+        for leaves, _sig, size, prov in merged:
+            provenance[(node, leaves)] = (fanins, prov)
+            if ffr_fanout is not None:
+                cone_sizes[(node, leaves)] = size
+        if include_trivial:
+            trivial = (node,)
+            # Keep the documented "ordered by increasing leaf count"
+            # contract: the trivial 1-leaf cut is inserted in sorted
+            # position, not appended after larger cuts.
+            insort(
+                entries,
+                (trivial, _signature(trivial), 0),
+                key=lambda e: len(e[0]),
+            )
+        work[node] = entries
+        total_cuts += len(entries)
+    if metrics is not None:
+        metrics.cuts_enumerated += total_cuts
+    return (
+        [[leaves for leaves, _, _ in cuts] for cuts in work],
+        provenance,
+        cone_sizes,
+    )
 
 
 def enumerate_cuts(
@@ -88,31 +216,244 @@ def enumerate_cuts(
     k: int = 4,
     cut_limit: int = 25,
     include_trivial: bool = True,
+    metrics: PassMetrics | None = None,
 ) -> list[list[tuple[int, ...]]]:
     """Enumerate k-feasible cuts of every node of *mig*.
 
     Returns ``cuts`` with ``cuts[node]`` the list of leaf tuples of that
-    node, ordered by increasing leaf count.  The constant node has the
-    single empty cut; a PI has its singleton cut.
+    node, ordered by increasing leaf count (the trivial cut included in
+    order).  The constant node has the single empty cut; a PI has its
+    singleton cut.
     """
-    if k < 1:
-        raise ValueError("cut size k must be at least 1")
-    num_nodes = mig.num_nodes
-    work: list[list[tuple[tuple[int, ...], int]]] = [[] for _ in range(num_nodes)]
-    work[0] = [((), 0)]
-    for node in range(1, mig.num_pis + 1):
-        leaves = (node,)
-        work[node] = [(leaves, _signature(leaves))]
-    for node in mig.gates():
-        a, b, c = mig.fanins(node)
-        merged = _merge3(work[a >> 1], work[b >> 1], work[c >> 1], k)
-        if len(merged) > cut_limit:
-            merged = merged[:cut_limit]
-        if include_trivial:
-            trivial = (node,)
-            merged.append((trivial, _signature(trivial)))
-        work[node] = merged
-    return [[leaves for leaves, _ in cuts] for cuts in work]
+    cuts, _, _ = _enumerate(mig, k, cut_limit, include_trivial, metrics)
+    return cuts
+
+
+def enumerate_cut_set(
+    mig: Mig,
+    k: int = 4,
+    cut_limit: int = 25,
+    include_trivial: bool = True,
+    metrics: PassMetrics | None = None,
+    ffr_fanout: list[int] | None = None,
+) -> "CutSet":
+    """Enumerate cuts and return a :class:`CutSet` with lazy cut functions.
+
+    With *ffr_fanout* (see :func:`_enumerate`), only fanout-free cuts are
+    produced and :meth:`CutSet.cone_size` knows each cut's exact cone
+    gate count.
+    """
+    cuts, provenance, cone_sizes = _enumerate(
+        mig, k, cut_limit, include_trivial, metrics, ffr_fanout
+    )
+    return CutSet(mig, cuts, provenance, metrics, cone_sizes)
+
+
+# -- expansion tables for incremental cut functions -------------------------
+
+#: (num_dst_vars, src-positions-in-dst) -> per-minterm source projection
+_EXPAND_TABLES: dict[tuple[int, tuple[int, ...]], tuple[int, ...]] = {}
+
+
+def _expand_table(num_vars: int, positions: tuple[int, ...]) -> tuple[int, ...]:
+    table = _EXPAND_TABLES.get((num_vars, positions))
+    if table is None:
+        entries = []
+        for m in range(1 << num_vars):
+            sm = 0
+            for j, p in enumerate(positions):
+                if (m >> p) & 1:
+                    sm |= 1 << j
+            entries.append(sm)
+        table = tuple(entries)
+        _EXPAND_TABLES[(num_vars, positions)] = table
+    return table
+
+
+#: (tt, num_dst_vars, positions) -> expanded truth table.  Cut functions
+#: repeat heavily (a handful of NPN classes per design), so memoizing the
+#: result replaces the 2**n scatter loop with one dict probe.  Keys are
+#: position patterns, not node ids, so the cache stays small across runs.
+_EXPAND_CACHE: dict[tuple[int, int, tuple[int, ...]], int] = {}
+
+
+def _expand(
+    tt: int, src: tuple[int, ...], dst: tuple[int, ...]
+) -> int:
+    """Re-express *tt* over leaves *src* as a truth table over *dst* ⊇ *src*."""
+    if src == dst:
+        return tt
+    built = []
+    j = 0
+    src_len = len(src)
+    for i, leaf in enumerate(dst):
+        if j < src_len and src[j] == leaf:
+            built.append(i)
+            j += 1
+    positions = tuple(built)
+    key = (tt, len(dst), positions)
+    out = _EXPAND_CACHE.get(key)
+    if out is None:
+        table = _expand_table(len(dst), positions)
+        out = 0
+        for m, sm in enumerate(table):
+            if (tt >> sm) & 1:
+                out |= 1 << m
+        _EXPAND_CACHE[key] = out
+    return out
+
+
+class CutSet:
+    """Enumerated cuts of a network plus memoized incremental cut functions.
+
+    ``cut_set[node]`` is the list of leaf tuples of *node* (the same shape
+    :func:`enumerate_cuts` returns); :meth:`function` yields the local
+    function of a cut, computed bottom-up from the fanin cut functions the
+    cut was merged from and cached per ``(node, leaves)`` for the lifetime
+    of the object — i.e. across one rewriting pass.
+    """
+
+    def __init__(
+        self,
+        mig: Mig,
+        cuts: list[list[tuple[int, ...]]],
+        provenance: dict[tuple[int, tuple[int, ...]], tuple],
+        metrics: PassMetrics | None = None,
+        cone_sizes: dict[tuple[int, tuple[int, ...]], int] | None = None,
+    ) -> None:
+        self.mig = mig
+        self.cuts = cuts
+        self._provenance = provenance
+        self._functions: dict[tuple[int, tuple[int, ...]], int] = {}
+        self.metrics = metrics
+        self._cone_sizes = cone_sizes or {}
+
+    def cone_size(self, node: int, leaves: tuple[int, ...]) -> int | None:
+        """Exact cone gate count of a cut, or None.
+
+        Known only for cuts enumerated in FFR-restricted mode (where the
+        cone is a tree and the size falls out of the merge).
+        """
+        return self._cone_sizes.get((node, leaves))
+
+    def __getitem__(self, node: int) -> list[tuple[int, ...]]:
+        return self.cuts[node]
+
+    def __len__(self) -> int:
+        return len(self.cuts)
+
+    def function(self, root: int, leaves: tuple[int, ...]) -> int:
+        """Local function of cut ``(root, leaves)`` over its leaves.
+
+        Derived incrementally: each cut's truth table is the majority of
+        its fanin cuts' (memoized) truth tables expanded onto the union
+        leaf set — no cone re-simulation.  Falls back to
+        :meth:`Mig.cut_function` for cuts enumeration never produced.
+        """
+        functions = self._functions
+        key = (root, leaves)
+        cached = functions.get(key)
+        if cached is not None:
+            if self.metrics is not None:
+                self.metrics.cut_function_cache_hits += 1
+            return cached
+        mig = self.mig
+        provenance = self._provenance
+        computed = 0
+        hits = 0
+        pushed: set[tuple[int, tuple[int, ...]]] = set()
+        stack = [key]
+        while stack:
+            top = stack[-1]
+            if top in functions:
+                stack.pop()
+                continue
+            node, lv = top
+            if lv == (node,):
+                functions[top] = _TT_X0
+                stack.pop()
+                continue
+            if node == 0:
+                functions[top] = 0
+                stack.pop()
+                continue
+            prov = provenance.get(top)
+            if prov is None:
+                # Caller-supplied cut outside the enumerated set.
+                functions[top] = mig.cut_function(node, lv)
+                computed += 1
+                stack.pop()
+                continue
+            (fa, fb, fc), (l1, l2, l3) = prov
+            child_keys = ((fa >> 1, l1), (fb >> 1, l2), (fc >> 1, l3))
+            missing = [ck for ck in child_keys if ck not in functions]
+            if top not in pushed:
+                pushed.add(top)
+                # Non-trivial child tables answered straight from the memo
+                # are cross-query reuse (a child's cut was evaluated while
+                # rewriting the child itself, earlier in the pass).
+                for ck in child_keys:
+                    if ck not in missing and ck[1] != (ck[0],) and ck[0] != 0:
+                        hits += 1
+            if missing:
+                stack.extend(missing)
+                continue
+            mask = tt_mask(len(lv))
+            va = _expand(functions[child_keys[0]], l1, lv)
+            vb = _expand(functions[child_keys[1]], l2, lv)
+            vc = _expand(functions[child_keys[2]], l3, lv)
+            if fa & 1:
+                va ^= mask
+            if fb & 1:
+                vb ^= mask
+            if fc & 1:
+                vc ^= mask
+            functions[top] = tt_maj(va, vb, vc) & mask
+            computed += 1
+            stack.pop()
+        if self.metrics is not None:
+            self.metrics.cut_functions_computed += computed
+            self.metrics.cut_function_cache_hits += hits
+        return functions[key]
+
+
+#: sentinel returned by :func:`cut_cone_nodes` when an internal node has
+#: external fanout (so callers can distinguish it from an invalid cone)
+SHARED_CONE = object()
+
+
+def cut_cone_nodes(
+    mig: Mig,
+    root: int,
+    leaves: tuple[int, ...],
+    fanout: list[int] | None = None,
+):
+    """Internal nodes of cut ``(root, leaves)`` as a set — hot-loop variant.
+
+    Unlike :func:`cut_cone` this returns an unordered set, signals an
+    invalid cut by returning ``None`` instead of raising, and — when a
+    *fanout* reference-count list is given — aborts the walk the moment a
+    non-root internal node has fanout other than 1, returning
+    :data:`SHARED_CONE`.  The early exit is what makes the F-variants
+    cheap: most cuts fail the fanout-free test and never pay for a full
+    cone traversal.
+    """
+    leaf_set = set(leaves)
+    first_gate = mig.num_pis + 1
+    fanins = mig.fanins
+    seen = {root}
+    stack = [s >> 1 for s in fanins(root)]
+    while stack:
+        node = stack.pop()
+        if node in seen or node in leaf_set or node == 0:
+            continue
+        if node < first_gate:  # a PI outside the leaves: not a cut
+            return None
+        if fanout is not None and fanout[node] != 1:
+            return SHARED_CONE
+        seen.add(node)
+        stack.extend(s >> 1 for s in fanins(node))
+    return seen
 
 
 def cut_cone(mig: Mig, root: int, leaves: tuple[int, ...]) -> list[int]:
@@ -125,18 +466,21 @@ def cut_cone(mig: Mig, root: int, leaves: tuple[int, ...]) -> list[int]:
     leaf_set = set(leaves)
     visited: set[int] = set()
     order: list[int] = []
-
-    def visit(node: int) -> None:
+    # (node, expanded): post-order with an explicit stack.
+    stack: list[tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
         if node in leaf_set or node == 0 or node in visited:
-            return
+            continue
         if not mig.is_gate(node):
             raise ValueError(f"node {node} is a terminal outside the cut leaves")
         visited.add(node)
+        stack.append((node, True))
         for s in mig.fanins(node):
-            visit(s >> 1)
-        order.append(node)
-
-    visit(root)
+            stack.append((s >> 1, False))
     return order
 
 
@@ -150,18 +494,17 @@ def mffc_nodes(mig: Mig, root: int, fanout: list[int] | None = None) -> set[int]
         fanout = mig.fanout_counts()
     refs = list(fanout)
     cone: set[int] = set()
-
-    def deref(node: int) -> None:
+    stack = [root]
+    while stack:
+        node = stack.pop()
         if not mig.is_gate(node):
-            return
+            continue
         cone.add(node)
         for s in mig.fanins(node):
             child = s >> 1
             refs[child] -= 1
             if refs[child] == 0:
-                deref(child)
-
-    deref(root)
+                stack.append(child)
     return cone
 
 

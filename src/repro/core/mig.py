@@ -113,9 +113,9 @@ class Mig:
 
     def maj(self, a: int, b: int, c: int) -> int:
         """Create (or reuse) the majority gate ``<abc>`` and return its signal."""
-        for s in (a, b, c):
-            if signal_node(s) >= len(self._fanins):
-                raise ValueError(f"signal {s} refers to an unknown node")
+        n = len(self._fanins)
+        if a >> 1 >= n or b >> 1 >= n or c >> 1 >= n:
+            raise ValueError(f"signal among ({a}, {b}, {c}) refers to an unknown node")
         # Unit rules.
         if a == b or a == c:
             return a
@@ -323,23 +323,27 @@ class Mig:
             values[leaf] = tt_var(k, j)
         mask = tt_mask(k)
 
-        def eval_node(node: int) -> int:
-            cached = values.get(node)
-            if cached is not None:
-                return cached
+        # Explicit-stack evaluation: cut cones can be arbitrarily deep
+        # (chain-shaped networks), so no recursion here.
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            if node in values:
+                stack.pop()
+                continue
             if not self.is_gate(node):
                 raise ValueError(f"terminal node {node} reached but is not a cut leaf")
             a, b, c = self.fanins(node)
-            va = eval_node(a >> 1) ^ (mask if a & 1 else 0)
-            vb = eval_node(b >> 1) ^ (mask if b & 1 else 0)
-            vc = eval_node(c >> 1) ^ (mask if c & 1 else 0)
-            result = tt_maj(va, vb, vc)
-            values[node] = result
-            return result
-
-        # Iterative-friendly: Python recursion depth is fine for 4-cuts but
-        # cut cones can be deep in principle; raise the limit locally.
-        return eval_node(root)
+            missing = [s >> 1 for s in (a, b, c) if s >> 1 not in values]
+            if missing:
+                stack.extend(missing)
+                continue
+            va = values[a >> 1] ^ (mask if a & 1 else 0)
+            vb = values[b >> 1] ^ (mask if b & 1 else 0)
+            vc = values[c >> 1] ^ (mask if c & 1 else 0)
+            values[node] = tt_maj(va, vb, vc)
+            stack.pop()
+        return values[root]
 
     # ------------------------------------------------------------------
     # transformations

@@ -30,6 +30,7 @@ __all__ = [
     "npn_representative",
     "enumerate_npn_classes",
     "npn_class_sizes",
+    "canonize_cache_info",
 ]
 
 
@@ -122,18 +123,36 @@ def compose_transforms(outer: NPNTransform, inner: NPNTransform) -> NPNTransform
     return NPNTransform(tuple(perm), flips, outer.output_flip ^ inner.output_flip)
 
 
+@lru_cache(maxsize=8)
+def _inverse_remap_tables(num_vars: int) -> dict[tuple[tuple[int, ...], int], tuple[int, ...]]:
+    """Inverse minterm maps: ``inv[src]`` is the output minterm fed by ``src``.
+
+    Lets canonization build a transformed table by iterating only the *set*
+    minterms of the source function instead of all ``2**n`` positions.
+    """
+    inverses: dict[tuple[tuple[int, ...], int], tuple[int, ...]] = {}
+    for key, table in _remap_tables(num_vars).items():
+        inv = [0] * len(table)
+        for m, mp in enumerate(table):
+            inv[mp] = m
+        inverses[key] = tuple(inv)
+    return inverses
+
+
 @lru_cache(maxsize=1 << 18)
 def _canonize_cached(f: int, num_vars: int) -> tuple[int, NPNTransform]:
-    tables = _remap_tables(num_vars)
+    inverses = _inverse_remap_tables(num_vars)
+    mask = tt_mask(num_vars)
+    # Iterate only the set minterms: callers phase-normalize f so that at
+    # most half the positions are set (the cheap symmetry pre-filter).
+    ones = [src for src in range(1 << num_vars) if (f >> src) & 1]
     best = None
     best_key = None
-    for key, table in tables.items():
+    for key, inv in inverses.items():
         g = 0
-        for m, mp in enumerate(table):
-            if (f >> mp) & 1:
-                g |= 1 << m
-        for out_flip in (False, True):
-            cand = g ^ tt_mask(num_vars) if out_flip else g
+        for src in ones:
+            g |= 1 << inv[src]
+        for cand, out_flip in ((g, False), (g ^ mask, True)):
             if best is None or cand < best:
                 best = cand
                 best_key = (key[0], key[1], out_flip)
@@ -150,9 +169,29 @@ def npn_canonize(f: int, num_vars: int) -> tuple[int, NPNTransform]:
     NPN orbit of *f* and ``t`` rebuilds *f* from it:
     ``apply_transform(rep, t, num_vars) == f``.
     """
-    if f < 0 or f > tt_mask(num_vars):
+    mask = tt_mask(num_vars)
+    if f < 0 or f > mask:
         raise ValueError(f"truth table 0x{f:x} out of range for {num_vars} variables")
+    # Phase pre-filter: f and its complement share one NPN orbit, so
+    # canonize the sparser polarity (ties broken by value).  This halves
+    # the memo-table footprint and bounds the set-minterm loop above.
+    fc = f ^ mask
+    ones_f = f.bit_count()
+    ones_fc = fc.bit_count()
+    if ones_fc < ones_f or (ones_fc == ones_f and fc < f):
+        rep, t = _canonize_cached(fc, num_vars)
+        # t rebuilds fc from rep; flipping the output rebuilds f.
+        return rep, NPNTransform(t.perm, t.flips, not t.output_flip)
     return _canonize_cached(f, num_vars)
+
+
+def canonize_cache_info():
+    """Hit/miss statistics of the global canonization memo table.
+
+    Passes snapshot this before/after to report per-pass NPN cache rates
+    in :class:`repro.runtime.metrics.PassMetrics`.
+    """
+    return _canonize_cached.cache_info()
 
 
 def npn_representative(f: int, num_vars: int) -> int:

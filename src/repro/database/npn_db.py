@@ -129,6 +129,9 @@ class NpnDatabase:
         self._pin_depth_cache: dict[int, list[int]] = {}
         #: malformed JSONL lines skipped during the last load (see from_jsonl)
         self.skipped_lines: int = 0
+        #: lifetime lookup() calls / calls that found no entry
+        self.lookups: int = 0
+        self.lookup_misses: int = 0
 
     # -- loading -----------------------------------------------------------
 
@@ -201,9 +204,11 @@ class NpnDatabase:
         The transform rebuilds *tt* from the entry's representative (see
         :func:`repro.core.npn.npn_canonize`).
         """
+        self.lookups += 1
         rep, transform = npn_canonize(tt, self.num_vars)
         entry = self.entries.get(rep)
         if entry is None:
+            self.lookup_misses += 1
             raise KeyError(f"no database entry for NPN class 0x{rep:x}")
         if fault_active("db.corrupt-entry"):
             # Fault hook: hand out a silently miscomputing entry — output

@@ -42,6 +42,7 @@ from ..rewriting.engine import VARIANTS, functional_hashing
 from ..runtime.budget import Budget
 from ..runtime.errors import BudgetExhausted, VerificationFailed
 from ..runtime.faults import fault_active
+from ..runtime.metrics import PassMetrics
 from ..runtime.verify import verify_rewrite
 from .depth_opt import optimize_depth
 from .size_opt import strash_rebuild
@@ -67,27 +68,30 @@ class FlowStepStats:
     verified: str = "off"
     #: diagnostic for non-ok statuses (exception text, counterexample)
     error: str | None = None
+    #: hot-path counters, populated for functional-hashing steps
+    metrics: PassMetrics | None = None
 
 
 def _apply_step(
     mig: Mig, db: NpnDatabase | None, step: str, budget: Budget | None
-) -> Mig:
+) -> tuple[Mig, PassMetrics | None]:
     name = step.strip()
     upper = name.upper()
     if upper in VARIANTS:
         if db is None:
             raise ValueError(f"step {step!r} needs an NPN database")
-        return functional_hashing(mig, db, upper)
+        metrics = PassMetrics(variant=upper)
+        return functional_hashing(mig, db, upper, metrics=metrics), metrics
     if name == "depth":
-        return optimize_depth(mig)
+        return optimize_depth(mig), None
     if name == "depth-fast":
-        return optimize_depth(mig, allow_size_increase=False)
+        return optimize_depth(mig, allow_size_increase=False), None
     if name == "strash":
-        return strash_rebuild(mig)
+        return strash_rebuild(mig), None
     if name == "fraig":
         from .fraig import fraig
 
-        return fraig(mig, budget=budget)
+        return fraig(mig, budget=budget), None
     raise ValueError(
         f"unknown flow step {step!r}; expected one of {VARIANTS} or "
         "'depth', 'depth-fast', 'strash', 'fraig'"
@@ -156,6 +160,7 @@ def run_flow(
         status: str,
         verified: str = "off",
         error: str | None = None,
+        metrics: PassMetrics | None = None,
     ) -> None:
         stats = FlowStepStats(
             step=step,
@@ -167,6 +172,7 @@ def run_flow(
             status=status,
             verified=verified,
             error=error,
+            metrics=metrics,
         )
         history.append(stats)
         if verbose:
@@ -183,7 +189,7 @@ def run_flow(
             record(step, current, start, "timeout", error="budget exhausted")
             continue
         try:
-            nxt = _apply_step(current, db, step, budget)
+            nxt, metrics = _apply_step(current, db, step, budget)
         except BudgetExhausted as exc:
             record(step, current, start, "timeout", error=str(exc))
             continue
@@ -207,10 +213,12 @@ def run_flow(
             error = f"non-equivalent result ({report.method})"
             if report.counterexample is not None:
                 error += f"; counterexample {report.counterexample}"
-            record(step, current, start, "rolled-back", report.method, error)
+            record(
+                step, current, start, "rolled-back", report.method, error, metrics
+            )
             continue
 
-        record(step, nxt, start, "ok", report.method)
+        record(step, nxt, start, "ok", report.method, metrics=metrics)
         current = nxt
     return current, history
 
@@ -220,15 +228,58 @@ def optimize_until_convergence(
     db: NpnDatabase,
     variant: str = "BF",
     max_passes: int = 10,
+    budget: Budget | None = None,
+    verify: str = "off",
+    on_error: str = "raise",
+    metrics: PassMetrics | None = None,
 ) -> tuple[Mig, int]:
     """Repeat one functional-hashing variant until the size stops improving.
 
     Returns the converged MIG and the number of productive passes.
+
+    Runs under the same fault-tolerant runtime as :func:`run_flow`: a
+    shared *budget* stops the iteration cleanly between passes (partial
+    progress is kept, never discarded), *verify* checks every pass
+    against its input, and *on_error* decides whether a failing or
+    miscompiled pass raises (``"raise"``) or is rolled back — the
+    last-known-good network is returned (``"rollback"``/``"skip"``).
+    Pass a :class:`PassMetrics` to accumulate hot-path counters across
+    all executed passes.
     """
+    if on_error not in _ON_ERROR_POLICIES:
+        raise ValueError(
+            f"unknown on_error policy {on_error!r}; expected one of {_ON_ERROR_POLICIES}"
+        )
     current = mig
     passes = 0
     for _ in range(max_passes):
-        nxt = functional_hashing(current, db, variant)
+        if budget is not None and budget.expired():
+            break
+        pass_metrics = PassMetrics(variant=variant.upper())
+        try:
+            nxt = functional_hashing(current, db, variant, metrics=pass_metrics)
+        except BudgetExhausted:
+            break
+        except Exception:  # noqa: BLE001 - policy boundary
+            if on_error == "raise":
+                raise
+            break
+        if metrics is not None:
+            metrics.merge(pass_metrics)
+            metrics.variant = variant.upper()
+
+        if fault_active("flow.wrong-rewrite"):
+            nxt = _miscompiled(nxt)
+
+        report = verify_rewrite(current, nxt, mode=verify, budget=budget)
+        if report.refuted:
+            if on_error == "raise":
+                raise VerificationFailed(
+                    step=variant,
+                    method=report.method,
+                    counterexample=report.counterexample,
+                )
+            break  # roll back to the last verified network and stop
         if nxt.num_gates >= current.num_gates:
             break
         current = nxt

@@ -12,6 +12,14 @@ Size and depth of a candidate are estimates (leaf sizes plus database
 size; sharing between leaf cones is not modelled), exactly as in the
 paper's Algorithm 2 bookkeeping; the final network is measured after
 dead-node cleanup.
+
+Hot-path engineering (docs/PERFORMANCE.md): cut truth tables come from
+the :class:`~repro.core.cuts.CutSet` incremental memo instead of cone
+re-simulation; for the F-variants, cut enumeration itself is restricted
+to fanout-free cuts (shared gates become leaves) so no per-cut
+admissibility walk runs at all and exact cone sizes fall out of the
+merge; and every event is counted in an optional
+:class:`~repro.runtime.metrics.PassMetrics`.
 """
 
 from __future__ import annotations
@@ -19,11 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import product
 
-from ..core.cuts import cut_cone, enumerate_cuts
+from ..core.cuts import cut_cone_nodes, enumerate_cut_set
 from ..core.mig import CONST0, Mig, make_signal
 from ..core.truth_table import tt_extend
 from ..database.npn_db import NpnDatabase
-from .ffr import cut_is_fanout_free
+from ..runtime.metrics import PassMetrics
 
 __all__ = ["rewrite_bottom_up"]
 
@@ -58,12 +66,24 @@ def rewrite_bottom_up(
     cut_limit: int = 8,
     candidate_limit: int = 3,
     combination_limit: int = 16,
+    metrics: PassMetrics | None = None,
 ) -> Mig:
     """Run one bottom-up functional-hashing pass; returns the optimized MIG."""
     if cut_size > db.num_vars:
         raise ValueError(f"cut size {cut_size} exceeds database arity {db.num_vars}")
-    cuts = enumerate_cuts(mig, k=cut_size, cut_limit=cut_limit)
+    if metrics is None:
+        metrics = PassMetrics()
     fanout = mig.fanout_counts()
+    with metrics.phase("enumerate"):
+        # F-variants enumerate only fanout-free cuts (shared gates become
+        # leaves), so no per-cut admissibility walk is needed later.
+        cuts = enumerate_cut_set(
+            mig,
+            k=cut_size,
+            cut_limit=cut_limit,
+            metrics=metrics,
+            ffr_fanout=fanout if fanout_free else None,
+        )
     levels = mig.levels()
     new = Mig.like(mig)
 
@@ -71,66 +91,112 @@ def rewrite_bottom_up(
     for i in range(1, mig.num_pis + 1):
         cand[i] = [_Candidate(make_signal(i), 0, 0)]
 
-    for node in mig.gates():
-        entries: list[_Candidate] = []
-        # Baseline candidate: rebuild the node from its fanins' best.
-        a, b, c = mig.fanins(node)
-        best_a, best_b, best_c = (cand[a >> 1][0], cand[b >> 1][0], cand[c >> 1][0])
-        baseline = _Candidate(
-            new.maj(
-                best_a.signal ^ (a & 1),
-                best_b.signal ^ (b & 1),
-                best_c.signal ^ (c & 1),
-            ),
-            1 + best_a.size + best_b.size + best_c.size,
-            1 + max(best_a.depth, best_b.depth, best_c.depth),
-        )
-        entries = _insert(entries, baseline, candidate_limit)
+    # Counters stay in locals inside the hot loop and are flushed into
+    # *metrics* once per pass — attribute stores per cut are measurable.
+    considered = admitted_total = rebuilt = db_hits = db_misses = 0
+    rejected: dict[str, int] = {}
+    cut_function = cuts.function
+    cone_size = cuts.cone_size
+    db_lookup = db.lookup
+    num_vars = db.num_vars
 
-        for leaves in cuts[node]:
-            if leaves == (node,) or node in leaves:
-                continue
-            if fanout_free and not cut_is_fanout_free(mig, node, leaves, fanout):
-                continue
-            try:
-                internal = cut_cone(mig, node, leaves)
-                tt = mig.cut_function(node, leaves)
-            except ValueError:
-                continue
-            tt4 = tt_extend(tt, len(leaves), db.num_vars)
-            try:
-                entry, _ = db.lookup(tt4)
-            except KeyError:
-                continue
-            # Algorithm 2 admits replacements "that reduce the size";
-            # equal-size replacements are kept only in depth-preserving
-            # mode, where they may still help depth.
-            gain = len(internal) - entry.size
-            if gain < 0 or (gain == 0 and not depth_preserving):
-                continue
-            leaf_options = [cand[leaf][:2] for leaf in leaves]
-            combos = 0
-            for combo in product(*leaf_options):
-                combos += 1
-                if combos > combination_limit:
-                    break
-                leaf_signals = [cnd.signal for cnd in combo]
-                leaf_signals += [CONST0] * (db.num_vars - len(leaves))
-                leaf_depths = [cnd.depth for cnd in combo]
-                leaf_depths += [0] * (db.num_vars - len(leaves))
-                depth = db.instantiated_depth(tt4, leaf_depths)
-                if depth_preserving and depth > levels[node]:
+    with metrics.phase("rewrite"):
+        for node in mig.gates():
+            entries: list[_Candidate] = []
+            # Baseline candidate: rebuild the node from its fanins' best.
+            a, b, c = mig.fanins(node)
+            best_a, best_b, best_c = (cand[a >> 1][0], cand[b >> 1][0], cand[c >> 1][0])
+            baseline = _Candidate(
+                new.maj(
+                    best_a.signal ^ (a & 1),
+                    best_b.signal ^ (b & 1),
+                    best_c.signal ^ (c & 1),
+                ),
+                1 + best_a.size + best_b.size + best_c.size,
+                1 + max(best_a.depth, best_b.depth, best_c.depth),
+            )
+            entries = _insert(entries, baseline, candidate_limit)
+
+            for leaves in cuts[node]:
+                if leaves == (node,) or node in leaves:
+                    rejected["trivial"] = rejected.get("trivial", 0) + 1
                     continue
-                if gain == 0 and depth >= levels[node]:
-                    continue  # equal size must at least improve depth
-                size = entry.size + sum(cnd.size for cnd in combo)
-                signal = db.rebuild(new, tt4, leaf_signals)
-                entries = _insert(
-                    entries, _Candidate(signal, size, depth), candidate_limit
-                )
-        cand[node] = entries
+                considered += 1
+                if fanout_free:
+                    # Restricted enumeration: fanout-free by construction,
+                    # exact cone size known from the merge.
+                    cone_gates = cone_size(node, leaves)
+                    if cone_gates is None:
+                        rejected["invalid-cone"] = (
+                            rejected.get("invalid-cone", 0) + 1
+                        )
+                        continue
+                else:
+                    internal = cut_cone_nodes(mig, node, leaves, None)
+                    if internal is None:
+                        rejected["invalid-cone"] = (
+                            rejected.get("invalid-cone", 0) + 1
+                        )
+                        continue
+                    cone_gates = len(internal)
+                tt = cut_function(node, leaves)
+                tt4 = tt_extend(tt, len(leaves), num_vars)
+                try:
+                    entry, _ = db_lookup(tt4)
+                except KeyError:
+                    db_misses += 1
+                    rejected["db-miss"] = rejected.get("db-miss", 0) + 1
+                    continue
+                db_hits += 1
+                # Algorithm 2 admits replacements "that reduce the size";
+                # equal-size replacements are kept only in depth-preserving
+                # mode, where they may still help depth.
+                gain = cone_gates - entry.size
+                if gain < 0 or (gain == 0 and not depth_preserving):
+                    rejected["no-gain"] = rejected.get("no-gain", 0) + 1
+                    continue
+                leaf_options = [cand[leaf][:2] for leaf in leaves]
+                combos = 0
+                admitted = False
+                for combo in product(*leaf_options):
+                    combos += 1
+                    if combos > combination_limit:
+                        break
+                    leaf_signals = [cnd.signal for cnd in combo]
+                    leaf_signals += [CONST0] * (num_vars - len(leaves))
+                    leaf_depths = [cnd.depth for cnd in combo]
+                    leaf_depths += [0] * (num_vars - len(leaves))
+                    depth = db.instantiated_depth(tt4, leaf_depths)
+                    if depth_preserving and depth > levels[node]:
+                        continue
+                    if gain == 0 and depth >= levels[node]:
+                        continue  # equal size must at least improve depth
+                    size = entry.size + sum(cnd.size for cnd in combo)
+                    signal = db.rebuild(new, tt4, leaf_signals)
+                    rebuilt += 1
+                    admitted = True
+                    entries = _insert(
+                        entries, _Candidate(signal, size, depth), candidate_limit
+                    )
+                if admitted:
+                    admitted_total += 1
+                else:
+                    rejected["depth-increase"] = (
+                        rejected.get("depth-increase", 0) + 1
+                    )
+            cand[node] = entries
 
-    for s, name in zip(mig.outputs, mig.output_names):
-        best = cand[s >> 1][0]
-        new.add_po(best.signal ^ (s & 1), name)
-    return new.cleanup()
+        for s, name in zip(mig.outputs, mig.output_names):
+            best = cand[s >> 1][0]
+            new.add_po(best.signal ^ (s & 1), name)
+
+    metrics.nodes_visited += mig.num_gates
+    metrics.cuts_considered += considered
+    metrics.cuts_admitted += admitted_total
+    metrics.nodes_rebuilt += rebuilt
+    metrics.db_hits += db_hits
+    metrics.db_misses += db_misses
+    for reason, count in rejected.items():
+        metrics.cuts_rejected[reason] = metrics.cuts_rejected.get(reason, 0) + count
+    with metrics.phase("cleanup"):
+        return new.cleanup()

@@ -19,10 +19,13 @@ combinations are provided for completeness.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from ..core.mig import Mig
+from ..core.npn import canonize_cache_info
 from ..database.npn_db import NpnDatabase
+from ..runtime.metrics import PassMetrics
 from .bottom_up import rewrite_bottom_up
 from .top_down import rewrite_top_down
 
@@ -41,6 +44,7 @@ class RewriteStats:
     size_after: int
     depth_after: int
     runtime: float
+    metrics: PassMetrics = field(default_factory=PassMetrics, compare=False)
 
     @property
     def size_ratio(self) -> float:
@@ -75,24 +79,57 @@ def functional_hashing(
     cut_size: int = 4,
     cut_limit: int = 8,
     candidate_limit: int = 3,
-) -> Mig:
-    """Apply one functional-hashing pass in the given paper variant."""
+    metrics: PassMetrics | None = None,
+    return_stats: bool = False,
+) -> Mig | tuple[Mig, RewriteStats]:
+    """Apply one functional-hashing pass in the given paper variant.
+
+    With ``return_stats=True`` the result is ``(mig, RewriteStats)`` where
+    the stats carry the populated :class:`PassMetrics` of the pass; sizes
+    and depths are only measured in that mode, keeping the plain call free
+    of extra traversals.
+    """
     top_down, fanout_free, depth_preserving = _parse_variant(variant)
+    if metrics is None:
+        metrics = PassMetrics(variant=variant.upper())
+    elif not metrics.variant:
+        metrics.variant = variant.upper()
+    npn_before = canonize_cache_info()
+    start = time.perf_counter()
     if top_down:
-        return rewrite_top_down(
+        result = rewrite_top_down(
             mig,
             db,
             depth_preserving=depth_preserving,
             fanout_free=fanout_free,
             cut_size=cut_size,
             cut_limit=cut_limit,
+            metrics=metrics,
         )
-    return rewrite_bottom_up(
-        mig,
-        db,
-        depth_preserving=depth_preserving,
-        fanout_free=fanout_free,
-        cut_size=cut_size,
-        cut_limit=cut_limit,
-        candidate_limit=candidate_limit,
+    else:
+        result = rewrite_bottom_up(
+            mig,
+            db,
+            depth_preserving=depth_preserving,
+            fanout_free=fanout_free,
+            cut_size=cut_size,
+            cut_limit=cut_limit,
+            candidate_limit=candidate_limit,
+            metrics=metrics,
+        )
+    runtime = time.perf_counter() - start
+    npn_after = canonize_cache_info()
+    metrics.npn_cache_hits += npn_after.hits - npn_before.hits
+    metrics.npn_cache_misses += npn_after.misses - npn_before.misses
+    if not return_stats:
+        return result
+    stats = RewriteStats(
+        variant=variant.upper(),
+        size_before=mig.num_gates,
+        depth_before=mig.depth(),
+        size_after=result.num_gates,
+        depth_after=result.depth(),
+        runtime=runtime,
+        metrics=metrics,
     )
+    return result, stats

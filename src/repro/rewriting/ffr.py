@@ -46,17 +46,16 @@ def ffr_of_node(mig: Mig, root: int, fanout: list[int] | None = None) -> list[in
     if fanout is None:
         fanout = mig.fanout_counts()
     members: set[int] = set()
-
-    def visit(node: int) -> None:
+    stack = [root]
+    while stack:
+        node = stack.pop()
         if node in members or not mig.is_gate(node):
-            return
+            continue
         members.add(node)
         for s in mig.fanins(node):
             child = s >> 1
             if mig.is_gate(child) and fanout[child] == 1:
-                visit(child)
-
-    visit(root)
+                stack.append(child)
     return sorted(members)
 
 

@@ -3,8 +3,8 @@
 Starting from every output, the pass looks for the 4-feasible cut of the
 current node whose replacement by the precomputed minimum MIG yields the
 largest size reduction.  If one exists, the cut's internal nodes are
-skipped and optimization recurses on the cut leaves; otherwise the node is
-kept and optimization recurses on its fanins.
+skipped and optimization continues on the cut leaves; otherwise the node
+is kept and optimization continues on its fanins.
 
 Variants (Sec. IV / Sec. V-C acronyms):
 
@@ -20,17 +20,23 @@ Variants (Sec. IV / Sec. V-C acronyms):
   increase depth are discarded (the paper's "simple heuristic"; the
   *global* depth may still increase when a non-critical path lengthens,
   also noted in the paper).
+
+Hot-path engineering (docs/PERFORMANCE.md): the traversal uses an
+explicit work stack instead of recursion (no ``sys.setrecursionlimit``
+games, deep chain MIGs are fine), cut truth tables come from the
+:class:`~repro.core.cuts.CutSet` incremental memo, the F-variants
+enumerate only fanout-free cuts (shared gates become leaves, so no
+per-cut admissibility walk runs), and every event is counted in an
+optional :class:`~repro.runtime.metrics.PassMetrics`.
 """
 
 from __future__ import annotations
 
-import sys
-
-from ..core.cuts import cut_cone, enumerate_cuts
+from ..core.cuts import cut_cone_nodes, enumerate_cut_set
 from ..core.mig import CONST0, Mig, make_signal
 from ..core.truth_table import tt_extend
 from ..database.npn_db import NpnDatabase
-from .ffr import cut_is_fanout_free
+from ..runtime.metrics import PassMetrics
 
 __all__ = ["rewrite_top_down"]
 
@@ -42,12 +48,24 @@ def rewrite_top_down(
     fanout_free: bool = False,
     cut_size: int = 4,
     cut_limit: int = 12,
+    metrics: PassMetrics | None = None,
 ) -> Mig:
     """Run one top-down functional-hashing pass; returns the optimized MIG."""
     if cut_size > db.num_vars:
         raise ValueError(f"cut size {cut_size} exceeds database arity {db.num_vars}")
-    cuts = enumerate_cuts(mig, k=cut_size, cut_limit=cut_limit)
+    if metrics is None:
+        metrics = PassMetrics()
     fanout = mig.fanout_counts()
+    with metrics.phase("enumerate"):
+        # F-variants enumerate only fanout-free cuts (shared gates become
+        # leaves), so no per-cut admissibility walk is needed later.
+        cuts = enumerate_cut_set(
+            mig,
+            k=cut_size,
+            cut_limit=cut_limit,
+            metrics=metrics,
+            ffr_fanout=fanout if fanout_free else None,
+        )
     levels = mig.levels()
     new = Mig.like(mig)
 
@@ -55,65 +73,99 @@ def rewrite_top_down(
     for i in range(1, mig.num_pis + 1):
         memo[i] = make_signal(i)
 
-    limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(limit, 4 * mig.num_nodes + 1000))
-
     def best_cut(node: int) -> tuple[tuple[int, ...], int] | None:
         """Pick the admissible cut with the largest estimated reduction."""
         best: tuple[int, tuple[int, ...], int] | None = None
         for leaves in cuts[node]:
             if leaves == (node,) or node in leaves:
+                metrics.reject("trivial")
                 continue
-            try:
-                internal = cut_cone(mig, node, leaves)
-            except ValueError:
-                continue
-            if fanout_free and not cut_is_fanout_free(mig, node, leaves, fanout):
-                continue
-            tt = mig.cut_function(node, leaves)
+            metrics.cuts_considered += 1
+            if fanout_free:
+                # Restricted enumeration: fanout-free by construction,
+                # exact cone size known from the merge.
+                cone_gates = cuts.cone_size(node, leaves)
+                if cone_gates is None:
+                    metrics.reject("invalid-cone")
+                    continue
+            else:
+                internal = cut_cone_nodes(mig, node, leaves, None)
+                if internal is None:
+                    metrics.reject("invalid-cone")
+                    continue
+                cone_gates = len(internal)
+            tt = cuts.function(node, leaves)
             tt4 = tt_extend(tt, len(leaves), db.num_vars)
             try:
                 entry, _ = db.lookup(tt4)
             except KeyError:
+                metrics.db_misses += 1
+                metrics.reject("db-miss")
                 continue
-            gain = len(internal) - entry.size
+            metrics.db_hits += 1
+            gain = cone_gates - entry.size
             if gain <= 0:
+                metrics.reject("no-gain")
                 continue
             if depth_preserving:
                 leaf_levels = [levels[leaf] for leaf in leaves]
                 leaf_levels += [0] * (db.num_vars - len(leaves))
                 new_level = db.instantiated_depth(tt4, leaf_levels)
                 if new_level > levels[node]:
+                    metrics.reject("depth-increase")
                     continue
+            metrics.cuts_admitted += 1
             if best is None or gain > best[0]:
                 best = (gain, leaves, tt4)
         if best is None:
             return None
         return best[1], best[2]
 
-    def opt(node: int) -> int:
-        cached = memo.get(node)
-        if cached is not None:
-            return cached
-        choice = best_cut(node)
-        if choice is not None:
-            leaves, tt4 = choice
-            leaf_signals = [opt(leaf) for leaf in leaves]
-            leaf_signals += [CONST0] * (db.num_vars - len(leaves))
-            signal = db.rebuild(new, tt4, leaf_signals)
-        else:
-            a, b, c = mig.fanins(node)
-            signal = new.maj(
-                opt(a >> 1) ^ (a & 1),
-                opt(b >> 1) ^ (b & 1),
-                opt(c >> 1) ^ (c & 1),
-            )
-        memo[node] = signal
-        return signal
+    # Iterative replacement for the natural recursion: each node is
+    # visited twice — first to decide (best cut vs. structural copy) and
+    # schedule its dependencies, then to emit its signal once all
+    # dependencies are memoized.  The chosen cut is cached between the
+    # two visits so best_cut runs at most once per node.
+    choice_cache: dict[int, tuple[tuple[int, ...], int] | None] = {}
 
-    try:
+    def opt(root: int) -> int:
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            if node not in choice_cache:
+                metrics.nodes_visited += 1
+                choice_cache[node] = best_cut(node)
+            choice = choice_cache[node]
+            if choice is not None:
+                deps = list(choice[0])
+            else:
+                deps = [s >> 1 for s in mig.fanins(node)]
+            missing = [d for d in deps if d not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            if choice is not None:
+                leaves, tt4 = choice
+                leaf_signals = [memo[leaf] for leaf in leaves]
+                leaf_signals += [CONST0] * (db.num_vars - len(leaves))
+                signal = db.rebuild(new, tt4, leaf_signals)
+                metrics.nodes_rebuilt += 1
+            else:
+                a, b, c = mig.fanins(node)
+                signal = new.maj(
+                    memo[a >> 1] ^ (a & 1),
+                    memo[b >> 1] ^ (b & 1),
+                    memo[c >> 1] ^ (c & 1),
+                )
+            memo[node] = signal
+            stack.pop()
+        return memo[root]
+
+    with metrics.phase("rewrite"):
         for s, name in zip(mig.outputs, mig.output_names):
             new.add_po(opt(s >> 1) ^ (s & 1), name)
-    finally:
-        sys.setrecursionlimit(limit)
-    return new.cleanup()
+    with metrics.phase("cleanup"):
+        return new.cleanup()

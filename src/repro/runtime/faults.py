@@ -36,6 +36,8 @@ __all__ = ["inject", "fault_active", "fired_count", "reset"]
 
 # name -> remaining activations (None = unlimited while armed)
 _armed: dict[str, int | None] = {}
+# name -> probes to let pass before the fault starts firing
+_skip: dict[str, int] = {}
 _fired: dict[str, int] = {}
 
 
@@ -46,6 +48,10 @@ def fault_active(name: str) -> bool:
     armed, so the hooks are effectively free outside tests.
     """
     if name not in _armed:
+        return False
+    pending_skips = _skip.get(name, 0)
+    if pending_skips > 0:
+        _skip[name] = pending_skips - 1
         return False
     remaining = _armed[name]
     if remaining is not None:
@@ -64,18 +70,23 @@ def fired_count(name: str) -> int:
 def reset() -> None:
     """Disarm every fault and clear fire counters."""
     _armed.clear()
+    _skip.clear()
     _fired.clear()
 
 
 @contextmanager
-def inject(name: str, times: int | None = None) -> Iterator[None]:
+def inject(name: str, times: int | None = None, skip: int = 0) -> Iterator[None]:
     """Arm fault *name* for the duration of the block.
 
-    *times* bounds how often it fires (``None`` = every probe).  Nested
+    *times* bounds how often it fires (``None`` = every probe); *skip*
+    lets the first *skip* probes pass unharmed before firing starts —
+    e.g. ``skip=1`` faults the second pass of an iteration.  Nested
     injections of the same name restore the previous arming on exit.
     """
     previous = _armed.get(name, _MISSING)
+    previous_skip = _skip.get(name, _MISSING)
     _armed[name] = times
+    _skip[name] = skip
     try:
         yield
     finally:
@@ -83,6 +94,10 @@ def inject(name: str, times: int | None = None) -> Iterator[None]:
             _armed.pop(name, None)
         else:
             _armed[name] = previous
+        if previous_skip is _MISSING:
+            _skip.pop(name, None)
+        else:
+            _skip[name] = previous_skip
 
 
 class _Missing:

@@ -1,0 +1,200 @@
+"""Hot-path counters for the rewriting passes (docs/PERFORMANCE.md).
+
+The functional-hashing hot loop — cut enumeration, NPN canonization,
+database lookup, structure rebuild — is where the paper's runtime claim
+lives.  :class:`PassMetrics` is the lightweight counter object threaded
+through :func:`repro.core.cuts.enumerate_cuts`,
+:func:`repro.rewriting.top_down.rewrite_top_down`,
+:func:`repro.rewriting.bottom_up.rewrite_bottom_up`,
+:func:`repro.rewriting.engine.functional_hashing` and
+:func:`repro.opt.flow.run_flow`; the CLI ``--metrics`` flag and
+``benchmarks/bench_hotpath.py`` serialize it to JSON.
+
+Counters are plain integer increments (no locks, no sampling) so the
+observed pass stays representative: the bookkeeping adds well under 5%
+to a pass and nothing when a phase records no events.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PassMetrics", "REJECT_REASONS"]
+
+#: The reasons a cut can be rejected by a rewriter, in pipeline order.
+REJECT_REASONS = (
+    "trivial",
+    "invalid-cone",
+    "not-fanout-free",
+    "db-miss",
+    "no-gain",
+    "depth-increase",
+)
+
+
+@dataclass
+class PassMetrics:
+    """Counters for one rewriting pass (or a merge of several).
+
+    >>> m = PassMetrics(variant="BF")
+    >>> with m.phase("enumerate"):
+    ...     m.cuts_enumerated += 10
+    >>> m.cuts_enumerated, sorted(m.phase_seconds)
+    (10, ['enumerate'])
+    """
+
+    variant: str = ""
+    #: gate nodes the rewriter looked at
+    nodes_visited: int = 0
+    #: database structures instantiated into the new network
+    nodes_rebuilt: int = 0
+    #: cuts stored by cut enumeration (across all nodes, incl. trivial)
+    cuts_enumerated: int = 0
+    #: non-trivial cuts the rewriter examined
+    cuts_considered: int = 0
+    #: cuts that produced an applicable replacement candidate
+    cuts_admitted: int = 0
+    #: rejected cuts bucketed by reason (see :data:`REJECT_REASONS`)
+    cuts_rejected: dict[str, int] = field(default_factory=dict)
+    #: NPN database lookups that found an entry
+    db_hits: int = 0
+    #: NPN database lookups that missed (class without an entry)
+    db_misses: int = 0
+    #: NPN canonizations answered by the global memo table
+    npn_cache_hits: int = 0
+    #: NPN canonizations computed from scratch
+    npn_cache_misses: int = 0
+    #: cut truth tables computed (incrementally or by cone simulation)
+    cut_functions_computed: int = 0
+    #: cut truth tables answered by the per-pass (node, leaves) memo
+    cut_function_cache_hits: int = 0
+    #: wall-clock seconds per phase ("enumerate", "rewrite", "cleanup", ...)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    # -- recording ---------------------------------------------------------
+
+    def reject(self, reason: str) -> None:
+        """Count one rejected cut under *reason*."""
+        self.cuts_rejected[reason] = self.cuts_rejected.get(reason, 0) + 1
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a phase; nested/repeated uses accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    def merge(self, other: "PassMetrics") -> None:
+        """Accumulate *other* into this object (for multi-pass totals)."""
+        self.nodes_visited += other.nodes_visited
+        self.nodes_rebuilt += other.nodes_rebuilt
+        self.cuts_enumerated += other.cuts_enumerated
+        self.cuts_considered += other.cuts_considered
+        self.cuts_admitted += other.cuts_admitted
+        self.db_hits += other.db_hits
+        self.db_misses += other.db_misses
+        self.npn_cache_hits += other.npn_cache_hits
+        self.npn_cache_misses += other.npn_cache_misses
+        self.cut_functions_computed += other.cut_functions_computed
+        self.cut_function_cache_hits += other.cut_function_cache_hits
+        for reason, count in other.cuts_rejected.items():
+            self.cuts_rejected[reason] = self.cuts_rejected.get(reason, 0) + count
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    # -- derived rates -----------------------------------------------------
+
+    @staticmethod
+    def _rate(hits: int, total: int) -> float:
+        return hits / total if total else 0.0
+
+    @property
+    def db_hit_rate(self) -> float:
+        """Fraction of database lookups that found an entry."""
+        return self._rate(self.db_hits, self.db_hits + self.db_misses)
+
+    @property
+    def npn_cache_hit_rate(self) -> float:
+        """Fraction of NPN canonizations answered from the memo table."""
+        return self._rate(
+            self.npn_cache_hits, self.npn_cache_hits + self.npn_cache_misses
+        )
+
+    @property
+    def cut_function_hit_rate(self) -> float:
+        """Fraction of cut-function queries answered from the per-pass memo."""
+        return self._rate(
+            self.cut_function_cache_hits,
+            self.cut_function_cache_hits + self.cut_functions_computed,
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded phase times."""
+        return sum(self.phase_seconds.values())
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation, including the derived rates."""
+        return {
+            "variant": self.variant,
+            "nodes_visited": self.nodes_visited,
+            "nodes_rebuilt": self.nodes_rebuilt,
+            "cuts_enumerated": self.cuts_enumerated,
+            "cuts_considered": self.cuts_considered,
+            "cuts_admitted": self.cuts_admitted,
+            "cuts_rejected": dict(self.cuts_rejected),
+            "db_hits": self.db_hits,
+            "db_misses": self.db_misses,
+            "db_hit_rate": round(self.db_hit_rate, 4),
+            "npn_cache_hits": self.npn_cache_hits,
+            "npn_cache_misses": self.npn_cache_misses,
+            "npn_cache_hit_rate": round(self.npn_cache_hit_rate, 4),
+            "cut_functions_computed": self.cut_functions_computed,
+            "cut_function_cache_hits": self.cut_function_cache_hits,
+            "cut_function_hit_rate": round(self.cut_function_hit_rate, 4),
+            "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PassMetrics":
+        """Inverse of :meth:`to_dict` (derived-rate keys are ignored)."""
+        metrics = cls(variant=data.get("variant", ""))
+        for name in (
+            "nodes_visited",
+            "nodes_rebuilt",
+            "cuts_enumerated",
+            "cuts_considered",
+            "cuts_admitted",
+            "db_hits",
+            "db_misses",
+            "npn_cache_hits",
+            "npn_cache_misses",
+            "cut_functions_computed",
+            "cut_function_cache_hits",
+        ):
+            setattr(metrics, name, int(data.get(name, 0)))
+        metrics.cuts_rejected = {
+            str(k): int(v) for k, v in data.get("cuts_rejected", {}).items()
+        }
+        metrics.phase_seconds = {
+            str(k): float(v) for k, v in data.get("phase_seconds", {}).items()
+        }
+        return metrics
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PassMetrics":
+        """Parse a string produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -124,3 +124,99 @@ class TestMffc:
         for node in list(mig.gates())[:50]:
             size = mffc_size(mig, node, fanout)
             assert 1 <= size <= mig.num_gates
+
+
+class TestCutOrdering:
+    """Cut lists are sorted by leaf count — smallest (cheapest) first.
+
+    The seed appended the trivial cut unconditionally, which broke the
+    ordering invariant whenever a gate also had 2- or 3-leaf cuts after
+    it in the priority list; the trivial cut is now inserted in sorted
+    position.
+    """
+
+    def test_sorted_by_leaf_count(self, suite_small):
+        for mig in suite_small:
+            cuts = enumerate_cuts(mig, 4, cut_limit=8)
+            for node in mig.gates():
+                lengths = [len(leaves) for leaves in cuts[node]]
+                assert lengths == sorted(lengths), (mig.name, node)
+
+    def test_trivial_cut_in_sorted_position(self, suite_small):
+        mig = suite_small[6]  # sine(6): plenty of multi-cut gates
+        cuts = enumerate_cuts(mig, 4, cut_limit=8)
+        checked = 0
+        for node in mig.gates():
+            entries = cuts[node]
+            if (node,) not in entries:
+                continue
+            pos = entries.index((node,))
+            # Every cut before the trivial one must be a singleton too.
+            assert all(len(leaves) == 1 for leaves in entries[:pos])
+            checked += 1
+        assert checked > 0
+
+    def test_ordering_survives_cut_limit(self, suite_small):
+        mig = suite_small[1]
+        for limit in (1, 2, 5):
+            cuts = enumerate_cuts(mig, 4, cut_limit=limit)
+            for node in mig.gates():
+                lengths = [len(leaves) for leaves in cuts[node]]
+                assert lengths == sorted(lengths)
+
+
+class TestCutSet:
+    """Incremental cut functions and exact cone sizes (docs/PERFORMANCE.md)."""
+
+    def test_functions_match_cone_simulation(self, suite_small):
+        from repro.core.cuts import enumerate_cut_set
+
+        mig = suite_small[5]  # square_root(4)
+        cuts = enumerate_cut_set(mig, k=4, cut_limit=8)
+        for node in mig.gates():
+            for leaves in cuts[node]:
+                if leaves == (node,) or node in leaves:
+                    continue
+                assert cuts.function(node, leaves) == mig.cut_function(node, leaves)
+
+    def test_function_memoized(self, full_adder):
+        from repro.core.cuts import enumerate_cut_set
+        from repro.runtime.metrics import PassMetrics
+
+        metrics = PassMetrics()
+        cuts = enumerate_cut_set(full_adder, k=4, metrics=metrics)
+        node = full_adder.outputs[0] >> 1
+        leaves = next(c for c in cuts[node] if c != (node,))
+        first = cuts.function(node, leaves)
+        computed = metrics.cut_functions_computed
+        assert cuts.function(node, leaves) == first  # second query: memo hit
+        assert metrics.cut_functions_computed == computed
+        assert metrics.cut_function_cache_hits >= 1
+
+    def test_restricted_cone_sizes_exact(self, suite_small):
+        from repro.core.cuts import cut_cone_nodes, enumerate_cut_set
+
+        mig = suite_small[7]  # log2(6)
+        fanout = mig.fanout_counts()
+        cuts = enumerate_cut_set(mig, k=4, cut_limit=8, ffr_fanout=fanout)
+        checked = 0
+        for node in mig.gates():
+            for leaves in cuts[node]:
+                if leaves == (node,) or node in leaves:
+                    continue
+                size = cuts.cone_size(node, leaves)
+                internal = cut_cone_nodes(mig, node, leaves, fanout)
+                assert isinstance(internal, set), "restricted cut not fanout-free"
+                assert size == len(internal)
+                checked += 1
+        assert checked > 0
+
+    def test_restricted_is_subset_of_unrestricted(self, suite_small):
+        mig = suite_small[3]  # max4(4)
+        fanout = mig.fanout_counts()
+        free = enumerate_cuts(mig, 4, cut_limit=25)
+        from repro.core.cuts import enumerate_cut_set
+
+        restricted = enumerate_cut_set(mig, k=4, cut_limit=25, ffr_fanout=fanout)
+        for node in mig.gates():
+            assert set(restricted[node]) <= set(free[node])

@@ -166,3 +166,85 @@ class TestConvergence:
 
         again = functional_hashing(converged, db, "TF")
         assert again.num_gates >= converged.num_gates
+
+
+class TestConvergenceRuntime:
+    """optimize_until_convergence under the fault-tolerant runtime."""
+
+    def teardown_method(self):
+        faults.reset()
+
+    def test_expired_budget_returns_input(self, db):
+        mig = epfl.square_root(6)
+        budget = Budget.from_limits(time_limit=0.0)
+        result, passes = optimize_until_convergence(mig, db, "BF", budget=budget)
+        assert passes == 0
+        assert result.num_gates == mig.num_gates
+
+    def test_budget_keeps_partial_progress(self, db):
+        """A budget expiring mid-iteration keeps completed passes."""
+        mig = epfl.log2(7)
+        # Generous enough for at least the first pass, far below full
+        # convergence on this instance.
+        budget = Budget.from_limits(time_limit=30.0)
+        result, passes = optimize_until_convergence(
+            mig, db, "BF", max_passes=5, budget=budget
+        )
+        assert check_equivalence(mig, result)
+        assert result.num_gates <= mig.num_gates
+
+    def test_miscompile_raises_by_default(self, db):
+        mig = epfl.square_root(6)
+        with faults.inject("flow.wrong-rewrite", times=1):
+            with pytest.raises(VerificationFailed):
+                optimize_until_convergence(mig, db, "BF", verify="sim")
+
+    def test_miscompile_rolls_back_to_last_good(self, db):
+        mig = epfl.square_root(6)
+        # Second pass miscompiles: the first pass's result must survive.
+        with faults.inject("flow.wrong-rewrite", times=1, skip=1):
+            result, passes = optimize_until_convergence(
+                mig, db, "BF", verify="sim", on_error="rollback"
+            )
+        assert check_equivalence(mig, result)
+        assert result.num_gates < mig.num_gates  # pass 1 kept
+        assert passes == 1
+
+    def test_bad_policy_rejected(self, db):
+        with pytest.raises(ValueError):
+            optimize_until_convergence(epfl.adder(4), db, "BF", on_error="ignore")
+
+    def test_metrics_accumulate_across_passes(self, db):
+        from repro.runtime.metrics import PassMetrics
+
+        mig = epfl.square_root(6)
+        metrics = PassMetrics()
+        _, passes = optimize_until_convergence(
+            mig, db, "BF", max_passes=4, metrics=metrics
+        )
+        assert metrics.variant == "BF"
+        # One enumeration per executed pass (converged passes included).
+        assert metrics.nodes_visited >= mig.num_gates
+        assert metrics.db_hits > 0
+        assert metrics.cuts_considered >= metrics.cuts_admitted
+
+
+class TestFlowMetrics:
+    def test_variant_steps_carry_metrics(self, db):
+        mig = epfl.square_root(6)
+        _, history = run_flow(mig, db, ["strash", "BF"])
+        assert history[0].metrics is None  # strash: no hot-path counters
+        assert history[1].metrics is not None
+        assert history[1].metrics.variant == "BF"
+        assert history[1].metrics.nodes_visited > 0
+
+    def test_rolled_back_step_keeps_metrics(self, db):
+        mig = epfl.adder(6)
+        with faults.inject("flow.wrong-rewrite", times=1):
+            _, history = run_flow(
+                mig, db, ["BF"], verify="sim", on_error="rollback"
+            )
+        faults.reset()
+        assert history[0].status == "rolled-back"
+        assert history[0].metrics is not None
+        assert history[0].metrics.nodes_visited > 0

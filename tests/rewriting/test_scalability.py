@@ -1,0 +1,60 @@
+"""Deep-network scalability: passes must not depend on Python recursion.
+
+The seed implementation raised ``sys.setrecursionlimit`` before walking
+the network, which both mutated global interpreter state and still
+crashed on networks deeper than the chosen limit.  All traversals on the
+rewriting hot path (cut cones, cut functions, the top-down opt walk,
+levels/depth/cleanup) now use explicit stacks, so a 50k-deep chain MIG —
+fifty times the default recursion limit — optimizes fine.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.mig import Mig
+from repro.rewriting import functional_hashing
+
+CHAIN_GATES = 50_000
+
+
+def build_chain_mig(length: int) -> Mig:
+    """A maximally deep MIG: one gate per level, depth == *length*."""
+    mig = Mig(3)
+    a, b, c = mig.pi_signals()
+    acc = mig.maj(a, b, c)
+    for i in range(length - 1):
+        acc = mig.maj(acc, b if i % 2 else a, c)
+    mig.add_po(acc)
+    assert mig.num_gates == length
+    return mig
+
+
+def test_no_recursion_limit_tampering():
+    """The rewriting modules must not touch the interpreter's limit."""
+    import repro.rewriting.bottom_up as bottom_up
+    import repro.rewriting.top_down as top_down
+
+    for module in (top_down, bottom_up):
+        source = open(module.__file__).read()
+        assert "setrecursionlimit(" not in source
+
+
+def test_deep_chain_pass_completes(db):
+    limit_before = sys.getrecursionlimit()
+    mig = build_chain_mig(CHAIN_GATES)
+    assert mig.depth() == CHAIN_GATES  # depth() itself must be iterative
+
+    result = functional_hashing(mig, db, "TF")
+
+    # The alternating chain is heavily redundant; the pass must both
+    # complete (no RecursionError) and leave the limit untouched.
+    assert result.num_gates < mig.num_gates
+    assert sys.getrecursionlimit() == limit_before
+
+
+def test_deep_chain_top_down_unrestricted(db):
+    """Variant T rebuilds through shared logic — deepest code path."""
+    mig = build_chain_mig(10_000)
+    result = functional_hashing(mig, db, "T")
+    assert result.num_gates < mig.num_gates

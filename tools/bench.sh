@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Run the hot-path micro-benchmark (see benchmarks/bench_hotpath.py).
+# All arguments are forwarded, e.g.:
+#   tools/bench.sh --quick --check
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec python benchmarks/bench_hotpath.py "$@"
