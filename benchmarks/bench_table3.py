@@ -23,6 +23,7 @@ from __future__ import annotations
 from harness import (
     PAPER_TABLE3_AVERAGES,
     PAPER_VARIANTS,
+    RESULTS_DIR,
     full_size,
     geomean,
     render_table,
@@ -82,6 +83,7 @@ def test_table3_reproduction(db, table3_runs, benchmark):
     text, averages = build_table3(table3_runs)
     print("\n" + text)
     write_result("table3", text)
+    _print_batch_provenance()
 
     # Shape assertion 1: BF reduces size on average (paper: 0.92).
     assert averages["BF"][0] < 1.0, "BF must reduce size on average"
@@ -116,6 +118,21 @@ def test_table3_reproduction(db, table3_runs, benchmark):
         lambda: functional_hashing(square_root(8), db, "BF"),
         rounds=1,
         iterations=1,
+    )
+
+
+def _print_batch_provenance() -> None:
+    """Summarize the supervised batch that produced the table, if one ran."""
+    import json
+
+    report_path = RESULTS_DIR / "table3_batch_report.json"
+    if not report_path.exists():
+        return
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    print(
+        f"(supervised batch: {report['done']}/{report['total']} jobs, "
+        f"{report['workers_used']} workers, {report['retries']} retries, "
+        f"{report['wall_seconds']:.1f}s wall)"
     )
 
 

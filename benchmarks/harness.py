@@ -67,6 +67,17 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def write_json_result(name: str, payload: dict) -> Path:
+    """Persist a JSON artifact (e.g. a batch report) under benchmarks/results/."""
+    import json
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
 def render_table(headers: list[str], rows: list[list[str]], title: str) -> str:
     """Render a simple aligned text table."""
     widths = [len(h) for h in headers]

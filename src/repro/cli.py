@@ -80,6 +80,105 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bench", help="read the circuit from an ISCAS .bench file")
 
 
+def _batch_specs(args: argparse.Namespace) -> list:
+    """Build the job list for ``migopt batch`` (deterministic job ids)."""
+    from pathlib import Path
+
+    from .runtime.jobs import JobSpec
+
+    script = tuple(step for step in args.script.split(",") if step)
+    networks: list[tuple[str, dict]] = []
+    if args.generate:
+        names = (
+            sorted(SUITE_SPECS)
+            if args.generate == "suite"
+            else [n for n in args.generate.split(",") if n]
+        )
+        for name in names:
+            if name not in SUITE_SPECS:
+                raise SystemExit(
+                    f"unknown generator {name!r}; choose from {sorted(SUITE_SPECS)}"
+                )
+            network = {"generate": name}
+            if args.width is not None:
+                network["width"] = args.width
+            slug = name if args.width is None else f"{name}-w{args.width}"
+            networks.append((slug, network))
+    for path in args.blif:
+        networks.append((Path(path).stem, {"blif": str(Path(path).resolve())}))
+    for path in args.bench:
+        networks.append((Path(path).stem, {"bench": str(Path(path).resolve())}))
+    if not networks and not args.resume:
+        raise SystemExit(
+            "specify circuits with --generate NAMES, --blif FILE, or "
+            "--bench FILE (or --resume an existing batch)"
+        )
+
+    outputs_dir = Path(args.workdir) / "outputs"
+    specs = []
+    seen: dict[str, int] = {}
+    for slug, network in networks:
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        job_id = slug if count == 0 else f"{slug}.{count}"
+        specs.append(
+            JobSpec(
+                job_id=job_id,
+                network=network,
+                script=script,
+                verify=args.verify,
+                time_limit=args.time_limit,
+                conflict_limit=args.conflict_limit,
+                mem_limit_mb=args.mem_limit,
+                output=None if args.no_outputs else str(outputs_dir / f"{job_id}.blif"),
+            )
+        )
+    return specs
+
+
+def _run_batch_command(args: argparse.Namespace) -> int:
+    from .runtime import faults
+    from .runtime.supervisor import Supervisor
+
+    # The supervisor may itself have been launched with REPRO_FAULTS set
+    # (the chaos smoke test does exactly that): arm them so spawn-time
+    # probes and the worker handshake see them.
+    faults.arm_from_env()
+
+    specs = _batch_specs(args)
+    supervisor = Supervisor(
+        args.workdir,
+        num_workers=args.jobs,
+        grace=args.grace,
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff,
+        verbose=True,
+    )
+    try:
+        report = supervisor.run(specs, resume=args.resume)
+    except FileExistsError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"batch: {report.done}/{report.total} done, "
+        f"{report.quarantined} quarantined, {report.retries} retries, "
+        f"{report.adopted} adopted, {report.workers_used} workers used, "
+        f"{report.wall_seconds:.2f}s"
+    )
+    for summary in report.jobs:
+        line = f"  {summary['job_id']:24} {summary['state']}"
+        if "size_before" in summary:
+            line += f"  {summary['size_before']} -> {summary.get('size_after')}"
+        if summary.get("degradations"):
+            line += f"  [degraded: {', '.join(summary['degradations'])}]"
+        if summary["state"] == "quarantined":
+            line += f"  ({summary.get('error', 'unknown error')})"
+        print(line)
+    if args.report:
+        _dump_metrics(args.report, report.to_dict())
+    print(f"journal: {supervisor.journal_path}")
+    return 0 if report.quarantined == 0 and report.done == report.total else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(prog="migopt", description=__doc__)
@@ -143,6 +242,81 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics", metavar="PATH",
         help="dump per-step hot-path metrics and merged totals as JSON to "
         "PATH ('-' for stdout)",
+    )
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="supervised parallel batch optimization (process isolation, "
+        "watchdog, crash-recoverable journal)",
+    )
+    p_batch.add_argument(
+        "--generate", metavar="NAMES",
+        help="comma-separated generator names, or 'suite' for all 8 "
+        f"arithmetic instances: {sorted(SUITE_SPECS)}",
+    )
+    p_batch.add_argument("--width", type=int, help="generator bit-width override")
+    p_batch.add_argument(
+        "--blif", action="append", default=[], metavar="FILE",
+        help="add a BLIF circuit as a job (repeatable)",
+    )
+    p_batch.add_argument(
+        "--bench", action="append", default=[], metavar="FILE",
+        help="add an ISCAS .bench circuit as a job (repeatable)",
+    )
+    p_batch.add_argument(
+        "--script", default="BF",
+        help="comma-separated flow steps applied to every job",
+    )
+    p_batch.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="number of parallel worker processes",
+    )
+    p_batch.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget; the supervisor hard-kills "
+        "(SIGTERM, then SIGKILL after --grace) workers that overrun it",
+    )
+    p_batch.add_argument(
+        "--conflict-limit", type=int, default=None, metavar="N",
+        help="per-job SAT conflict budget",
+    )
+    p_batch.add_argument(
+        "--mem-limit", type=int, default=None, metavar="MB",
+        help="per-worker address-space rlimit in MiB",
+    )
+    p_batch.add_argument(
+        "--verify", default="sim", choices=["off", "sim", "cec"],
+        help="in-worker per-step verification policy (default: sim)",
+    )
+    p_batch.add_argument(
+        "--workdir", required=True, metavar="DIR",
+        help="batch state directory (journal, specs, results, outputs, report)",
+    )
+    p_batch.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted batch from its journal: finished "
+        "jobs are kept, orphaned running jobs are re-queued",
+    )
+    p_batch.add_argument(
+        "--grace", type=float, default=2.0, metavar="SECONDS",
+        help="SIGTERM-to-SIGKILL escalation window (default: 2.0)",
+    )
+    p_batch.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per job before quarantine; retries degrade "
+        "parameters (verify cec->sim, halved conflict/cut limits)",
+    )
+    p_batch.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base retry backoff, doubling per attempt (default: 0.5)",
+    )
+    p_batch.add_argument(
+        "--no-outputs", action="store_true",
+        help="skip writing optimized networks to workdir/outputs/",
+    )
+    p_batch.add_argument(
+        "--report", metavar="PATH",
+        help="also dump the batch report JSON to PATH ('-' for stdout)",
     )
 
     p_exact = sub.add_parser("exact", help="exact synthesis of a truth table")
@@ -240,6 +414,9 @@ def main(argv: list[str] | None = None) -> int:
             _write_network(result, args.output)
             print(f"written to {args.output}")
         return 0
+
+    if args.command == "batch":
+        return _run_batch_command(args)
 
     if args.command == "exact":
         spec = int(args.tt, 16)

@@ -265,6 +265,77 @@ class Mig:
         return max(level[signal_node(s)] for s in self._outputs)
 
     # ------------------------------------------------------------------
+    # structural validation
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Validate the structural invariants; raises ``ValueError`` on breakage.
+
+        Invariants enforced (everything :meth:`maj` guarantees by
+        construction, so a violation means a pass corrupted the
+        representation by mutating internals directly):
+
+        * terminals — node 0 and the PIs have no fanins; every gate does;
+        * acyclicity — each fanin references a strictly smaller node
+          index (the strict topological order of the node array);
+        * no dangling refs — fanin and output signals point at existing
+          nodes;
+        * fanin ordering — the stored triple is sorted;
+        * unit-rule residue — the three fanins sit on three distinct
+          nodes (``<aab>``/``<aa'b>`` must have been simplified away);
+        * inverter normalization — at most one complemented fanin
+          (self-duality pushes the rest to the output);
+        * strash consistency — every structural-hash entry agrees with
+          the node array.
+        """
+        n = len(self._fanins)
+        if n == 0 or self._fanins[0] is not None:
+            raise ValueError("node 0 must be the constant-0 terminal")
+        for node in range(1, self.num_pis + 1):
+            if self._fanins[node] is not None:
+                raise ValueError(f"PI node {node} has fanins")
+        for node in range(self.num_pis + 1, n):
+            fanin = self._fanins[node]
+            if fanin is None:
+                raise ValueError(f"gate node {node} has no fanins")
+            if len(fanin) != 3:
+                raise ValueError(f"gate node {node} has {len(fanin)} fanins, not 3")
+            for s in fanin:
+                if s < 0 or (s >> 1) >= n:
+                    raise ValueError(
+                        f"gate node {node} fanin signal {s} is dangling"
+                    )
+                if (s >> 1) >= node:
+                    raise ValueError(
+                        f"gate node {node} fanin signal {s} breaks topological "
+                        "order (cycle or forward reference)"
+                    )
+            if tuple(sorted(fanin)) != fanin:
+                raise ValueError(f"gate node {node} fanin triple {fanin} is unsorted")
+            if len({s >> 1 for s in fanin}) != 3:
+                raise ValueError(
+                    f"gate node {node} fanin triple {fanin} repeats a node "
+                    "(unit rule <aab>/<aa'b> not applied)"
+                )
+            if sum(s & 1 for s in fanin) > 1:
+                raise ValueError(
+                    f"gate node {node} fanin triple {fanin} has more than one "
+                    "inverter (self-duality normalization not applied)"
+                )
+        for fanin, node in self._strash.items():
+            if not self.is_gate(node) or self._fanins[node] != fanin:
+                raise ValueError(
+                    f"strash entry {fanin} -> {node} disagrees with the node array"
+                )
+        for i, s in enumerate(self._outputs):
+            if s < 0 or (s >> 1) >= n:
+                raise ValueError(f"output {i} signal {s} is dangling")
+        if len(self._outputs) != len(self._output_names):
+            raise ValueError("output/name list length mismatch")
+        if len(self._pi_names) != self.num_pis:
+            raise ValueError("PI/name list length mismatch")
+
+    # ------------------------------------------------------------------
     # functional evaluation
     # ------------------------------------------------------------------
 

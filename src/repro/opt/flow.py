@@ -73,7 +73,11 @@ class FlowStepStats:
 
 
 def _apply_step(
-    mig: Mig, db: NpnDatabase | None, step: str, budget: Budget | None
+    mig: Mig,
+    db: NpnDatabase | None,
+    step: str,
+    budget: Budget | None,
+    cut_limit: int | None = None,
 ) -> tuple[Mig, PassMetrics | None]:
     name = step.strip()
     upper = name.upper()
@@ -81,7 +85,8 @@ def _apply_step(
         if db is None:
             raise ValueError(f"step {step!r} needs an NPN database")
         metrics = PassMetrics(variant=upper)
-        return functional_hashing(mig, db, upper, metrics=metrics), metrics
+        kwargs = {} if cut_limit is None else {"cut_limit": cut_limit}
+        return functional_hashing(mig, db, upper, metrics=metrics, **kwargs), metrics
     if name == "depth":
         return optimize_depth(mig), None
     if name == "depth-fast":
@@ -123,6 +128,33 @@ def _miscompiled(mig: Mig) -> Mig:
     return bad
 
 
+def _structure_corrupted(mig: Mig) -> Mig:
+    """Copy of *mig* with a broken structural invariant — fault hook.
+
+    The last gate's fanin triple is reversed (unsorted), modeling a pass
+    that mutates network internals without going through ``maj()``.
+    Caught by :meth:`Mig.check`, not by functional verification.
+    """
+    bad = mig.clone()
+    for node in range(len(bad._fanins) - 1, 0, -1):
+        fanin = bad._fanins[node]
+        if fanin is not None and fanin[0] != fanin[2]:
+            bad._fanins[node] = tuple(reversed(fanin))
+            break
+    return bad
+
+
+def _checked(mig: Mig, verify: str) -> None:
+    """Run the structural validator when any verification is requested.
+
+    A pass that corrupts the representation (dangling refs, broken
+    ordering) may still *simulate* correctly by accident, so the
+    structural invariants are checked before functional equivalence.
+    """
+    if verify != "off":
+        mig.check()
+
+
 def run_flow(
     mig: Mig,
     db: NpnDatabase | None,
@@ -131,18 +163,23 @@ def run_flow(
     budget: Budget | None = None,
     verify: str = "off",
     on_error: str = "raise",
+    cut_limit: int | None = None,
 ) -> tuple[Mig, list[FlowStepStats]]:
     """Apply *script* steps in order; returns the final MIG and per-step stats.
 
     *budget* bounds the whole flow: SAT-backed steps run under it, and
     once it expires the remaining steps are recorded as ``timeout``
     without executing, so the call returns partial results instead of
-    hanging.  *verify* (``off``/``sim``/``cec``) checks each step's
-    result against its input and — under ``on_error="rollback"`` or
-    ``"skip"`` — discards non-equivalent results, recording the step as
-    ``rolled-back``.  ``on_error="raise"`` propagates step exceptions and
-    raises :class:`~repro.runtime.errors.VerificationFailed` on a
-    detected miscompile.
+    hanging.  *verify* (``off``/``sim``/``cec``) first runs the
+    structural validator (:meth:`Mig.check`) and then checks each step's
+    result against its input; under ``on_error="rollback"`` or
+    ``"skip"`` non-equivalent (or structurally broken) results are
+    discarded, recording the step as ``rolled-back``.
+    ``on_error="raise"`` propagates step exceptions and raises
+    :class:`~repro.runtime.errors.VerificationFailed` on a detected
+    miscompile.  *cut_limit* overrides the rewriters' per-node cut cap
+    for every functional-hashing step (the batch runtime's degradation
+    ladder shrinks it on retries).
     """
     if on_error not in _ON_ERROR_POLICIES:
         raise ValueError(
@@ -189,7 +226,7 @@ def run_flow(
             record(step, current, start, "timeout", error="budget exhausted")
             continue
         try:
-            nxt, metrics = _apply_step(current, db, step, budget)
+            nxt, metrics = _apply_step(current, db, step, budget, cut_limit)
         except BudgetExhausted as exc:
             record(step, current, start, "timeout", error=str(exc))
             continue
@@ -201,6 +238,19 @@ def run_flow(
 
         if fault_active("flow.wrong-rewrite"):
             nxt = _miscompiled(nxt)
+        if fault_active("flow.corrupt-structure"):
+            nxt = _structure_corrupted(nxt)
+
+        try:
+            _checked(nxt, verify)
+        except ValueError as exc:
+            if on_error == "raise":
+                raise VerificationFailed(step=step, method="structural") from exc
+            record(
+                step, current, start, "rolled-back", "structural",
+                f"structural invariant violated: {exc}", metrics,
+            )
+            continue
 
         report = verify_rewrite(current, nxt, mode=verify, budget=budget)
         if report.refuted:
@@ -232,6 +282,7 @@ def optimize_until_convergence(
     verify: str = "off",
     on_error: str = "raise",
     metrics: PassMetrics | None = None,
+    cut_limit: int | None = None,
 ) -> tuple[Mig, int]:
     """Repeat one functional-hashing variant until the size stops improving.
 
@@ -256,8 +307,11 @@ def optimize_until_convergence(
         if budget is not None and budget.expired():
             break
         pass_metrics = PassMetrics(variant=variant.upper())
+        kwargs = {} if cut_limit is None else {"cut_limit": cut_limit}
         try:
-            nxt = functional_hashing(current, db, variant, metrics=pass_metrics)
+            nxt = functional_hashing(
+                current, db, variant, metrics=pass_metrics, **kwargs
+            )
         except BudgetExhausted:
             break
         except Exception:  # noqa: BLE001 - policy boundary
@@ -270,6 +324,15 @@ def optimize_until_convergence(
 
         if fault_active("flow.wrong-rewrite"):
             nxt = _miscompiled(nxt)
+        if fault_active("flow.corrupt-structure"):
+            nxt = _structure_corrupted(nxt)
+
+        try:
+            _checked(nxt, verify)
+        except ValueError as exc:
+            if on_error == "raise":
+                raise VerificationFailed(step=variant, method="structural") from exc
+            break  # roll back to the last structurally valid network
 
         report = verify_rewrite(current, nxt, mode=verify, budget=budget)
         if report.refuted:

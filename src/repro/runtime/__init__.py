@@ -10,7 +10,14 @@ The robustness substrate shared by every layer of the reproduction:
 * :mod:`repro.runtime.artifacts` — atomic writes, validated loads and
   quarantine for on-disk artifacts;
 * :mod:`repro.runtime.faults` — fault injection hooks for testing all of
-  the above against real failures.
+  the above against real failures;
+* :mod:`repro.runtime.jobs` — batch job specs, the retry/degradation
+  ladder, and the crash-recoverable JSONL job journal;
+* :mod:`repro.runtime.supervisor` — the supervised parallel batch
+  runtime: worker-pool scheduling, process isolation, and the hard
+  wall-clock watchdog (SIGTERM → grace → SIGKILL);
+* :mod:`repro.runtime.worker` — the worker subprocess entry point
+  (``python -m repro.runtime.worker``).
 
 See ``docs/ROBUSTNESS.md`` for the full model.
 """
@@ -22,14 +29,21 @@ from .errors import (
     ReproRuntimeError,
     VerificationFailed,
 )
+from .jobs import BatchReport, JobJournal, JobSpec
+from .supervisor import Supervisor, run_batch
 from .verify import VerificationReport, verify_rewrite
 
 __all__ = [
+    "BatchReport",
     "Budget",
     "BudgetExhausted",
     "CorruptArtifact",
+    "JobJournal",
+    "JobSpec",
     "ReproRuntimeError",
+    "Supervisor",
     "VerificationFailed",
     "VerificationReport",
+    "run_batch",
     "verify_rewrite",
 ]

@@ -25,6 +25,7 @@ False
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -51,6 +52,9 @@ class Budget:
         self.conflict_limit = conflict_limit
         self.conflicts_spent = 0
         self._clock = clock
+        # Charges may arrive from several threads (split() children driven
+        # by concurrent workers); a bare += on an attribute is not atomic.
+        self._charge_lock = threading.Lock()
 
     @classmethod
     def from_limits(
@@ -98,10 +102,15 @@ class Budget:
     # -- charging ----------------------------------------------------------
 
     def charge_conflicts(self, count: int) -> None:
-        """Record *count* CDCL conflicts spent against this budget."""
+        """Record *count* CDCL conflicts spent against this budget.
+
+        Thread-safe: children created by :meth:`split` may charge from
+        concurrent workers, and every charge must reach the shared total.
+        """
         if count < 0:
             raise ValueError("cannot charge a negative conflict count")
-        self.conflicts_spent += count
+        with self._charge_lock:
+            self.conflicts_spent += count
 
     def check(self, where: str = "") -> None:
         """Raise :class:`BudgetExhausted` if the budget is spent."""

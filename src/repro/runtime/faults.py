@@ -22,17 +22,53 @@ Registered fault points (grep for ``fault_active`` to find the hooks):
 ``flow.wrong-rewrite``
     :func:`repro.opt.flow.run_flow` inverts the first output of a step's
     result, modeling a miscompiling pass.
+``flow.corrupt-structure``
+    :func:`repro.opt.flow.run_flow` mangles the structural invariants of
+    a step's result (unsorted fanin triple), modeling a buggy pass that
+    corrupts the network representation — caught by :meth:`Mig.check`.
+``worker.crash``
+    :mod:`repro.runtime.worker` exits abruptly without writing a result
+    artifact, modeling a segfault.  Probed by the *supervisor* at spawn
+    time (one firing dooms one worker), so ``times=1`` crashes exactly
+    one attempt.
+``worker.hang``
+    :mod:`repro.runtime.worker` ignores SIGTERM and busy-loops past every
+    deadline, modeling a worker stuck in native code; only the
+    supervisor's SIGKILL escalation ends it.  Spawn-time probed like
+    ``worker.crash``.
 
 Each armed fault fires ``times`` times (default: unlimited within the
 ``with`` block) and counts its activations for assertions.
+
+Cross-process propagation: the supervisor serializes the armed table
+into the ``REPRO_FAULTS`` environment variable (:func:`env_spec`) and
+worker subprocesses re-arm from it (:func:`arm_from_env`), so a fault
+injected in a test process is live inside every worker it supervises.
+Activation counts do *not* propagate back — each process consumes its
+own copy — which is why the ``worker.*`` faults are consumed on the
+supervisor side instead.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Mapping
 
-__all__ = ["inject", "fault_active", "fired_count", "reset"]
+__all__ = [
+    "inject",
+    "fault_active",
+    "fired_count",
+    "reset",
+    "armed_names",
+    "env_spec",
+    "arm_from_spec",
+    "arm_from_env",
+    "FAULTS_ENV_VAR",
+]
+
+#: environment variable carrying the armed-fault table across processes
+FAULTS_ENV_VAR = "REPRO_FAULTS"
 
 # name -> remaining activations (None = unlimited while armed)
 _armed: dict[str, int | None] = {}
@@ -72,6 +108,73 @@ def reset() -> None:
     _armed.clear()
     _skip.clear()
     _fired.clear()
+
+
+def armed_names(prefix: str = "") -> list[str]:
+    """Names of currently armed faults (optionally filtered by prefix)."""
+    return sorted(name for name in _armed if name.startswith(prefix))
+
+
+def env_spec(exclude_prefix: str | None = None) -> str:
+    """Serialize the armed table for a child process's environment.
+
+    Format: ``name[:times=N][:skip=M]`` entries joined with ``,``;
+    omitted ``times`` means unlimited.  Faults whose remaining count is
+    zero are dropped.  *exclude_prefix* filters out families handled on
+    the parent side (the supervisor excludes ``worker.``).
+    """
+    parts = []
+    for name in sorted(_armed):
+        if exclude_prefix is not None and name.startswith(exclude_prefix):
+            continue
+        remaining = _armed[name]
+        if remaining is not None and remaining <= 0:
+            continue
+        entry = name
+        if remaining is not None:
+            entry += f":times={remaining}"
+        skip = _skip.get(name, 0)
+        if skip > 0:
+            entry += f":skip={skip}"
+        parts.append(entry)
+    return ",".join(parts)
+
+
+def arm_from_spec(spec: str) -> None:
+    """Arm faults from an :func:`env_spec` string (malformed entries ignored)."""
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        fields = entry.split(":")
+        name = fields[0]
+        times: int | None = None
+        skip = 0
+        valid = bool(name)
+        for option in fields[1:]:
+            key, _, value = option.partition("=")
+            try:
+                if key == "times":
+                    times = int(value)
+                elif key == "skip":
+                    skip = int(value)
+                else:
+                    valid = False
+            except ValueError:
+                valid = False
+        if not valid:
+            continue
+        _armed[name] = times
+        if skip > 0:
+            _skip[name] = skip
+
+
+def arm_from_env(environ: Mapping[str, str] | None = None) -> None:
+    """Arm faults from ``REPRO_FAULTS`` (no-op when unset/empty)."""
+    environ = os.environ if environ is None else environ
+    spec = environ.get(FAULTS_ENV_VAR, "")
+    if spec:
+        arm_from_spec(spec)
 
 
 @contextmanager

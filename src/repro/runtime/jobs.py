@@ -1,0 +1,458 @@
+"""Batch jobs: specs, the retry/degradation ladder, and the crash-safe journal.
+
+One *job* is one optimization of one network — a scripted flow
+(:func:`repro.opt.flow.run_flow`) or a convergence iteration
+(:func:`repro.opt.flow.optimize_until_convergence`) — executed by a
+worker subprocess under :mod:`repro.runtime.supervisor`.  This module
+holds everything about jobs that must survive a crash:
+
+* :class:`JobSpec` — the serializable description of what to run;
+* :func:`degraded` — the retry ladder: each retry runs with *weaker
+  parameters* (``verify=cec → sim``, halved conflict budget, halved cut
+  limit) so a job that failed on resource pressure still produces a
+  verified, if less optimized, result before quarantine;
+* :class:`JobJournal` — an append-only JSONL event log.  Every event is
+  flushed and fsynced before the supervisor acts on it, and replay
+  tolerates a torn final line (the PR 1 artifact rules applied to a log:
+  a crash mid-append loses at most the event being written, never the
+  file).  Replaying the journal reconstructs the exact batch state, so a
+  ``kill -9`` of the supervisor loses nothing;
+* :class:`BatchReport` — the merged outcome (per-job statuses, worker
+  utilization, merged :class:`~repro.runtime.metrics.PassMetrics`),
+  written atomically next to the journal.
+
+Job lifecycle (journal events in parentheses)::
+
+    pending (submit) -> running (start) -> done (done)
+                             |                ^
+                             v (failed)       | adopted on resume when a
+                        pending (requeued) ---+ valid result artifact
+                             |                  already exists
+                             v after max attempts
+                        quarantined (quarantined)
+
+Exactly-once resume: ``done``/``quarantined`` are terminal — a resumed
+supervisor never re-runs them.  A job left ``running`` by a dead
+supervisor is re-queued, unless its result artifact is already on disk
+and validates, in which case it is adopted as ``done`` without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterator
+
+from .metrics import PassMetrics
+
+__all__ = [
+    "JobSpec",
+    "JobRecord",
+    "JobJournal",
+    "BatchReport",
+    "degraded",
+    "load_result_artifact",
+    "JOB_STATES",
+]
+
+#: The states a job moves through (see the module docstring's diagram).
+JOB_STATES = ("pending", "running", "done", "failed", "quarantined")
+
+#: Floors for the degradation ladder — degrade, never disable.
+MIN_CONFLICT_LIMIT = 100
+MIN_CUT_LIMIT = 2
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Serializable description of one batch optimization job.
+
+    ``network`` locates the input circuit: ``{"generate": name}`` with an
+    optional ``"width"`` for the built-in EPFL generators, or
+    ``{"blif": path}`` / ``{"bench": path}`` for files.  ``mode`` selects
+    the runner: ``"flow"`` applies ``script`` once, ``"converge"``
+    repeats ``variant`` to a fixpoint (``max_passes`` bound).
+    """
+
+    job_id: str
+    network: dict
+    script: tuple[str, ...] = ("BF",)
+    mode: str = "flow"
+    variant: str = "BF"
+    max_passes: int = 10
+    #: verification policy inside the worker: "off", "sim", or "cec"
+    verify: str = "sim"
+    time_limit: float | None = None
+    conflict_limit: int | None = None
+    cut_limit: int | None = None
+    #: address-space rlimit for the worker process, in MiB
+    mem_limit_mb: int | None = None
+    #: alternative NPN database path (None = packaged default)
+    db: str | None = None
+    #: where the worker writes the optimized network (BLIF), if anywhere
+    output: str | None = None
+
+    def to_dict(self) -> dict:
+        data = {
+            "job_id": self.job_id,
+            "network": dict(self.network),
+            "script": list(self.script),
+            "mode": self.mode,
+            "variant": self.variant,
+            "max_passes": self.max_passes,
+            "verify": self.verify,
+            "time_limit": self.time_limit,
+            "conflict_limit": self.conflict_limit,
+            "cut_limit": self.cut_limit,
+            "mem_limit_mb": self.mem_limit_mb,
+            "db": self.db,
+            "output": self.output,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(
+            job_id=str(data["job_id"]),
+            network=dict(data["network"]),
+            script=tuple(data.get("script", ("BF",))),
+            mode=str(data.get("mode", "flow")),
+            variant=str(data.get("variant", "BF")),
+            max_passes=int(data.get("max_passes", 10)),
+            verify=str(data.get("verify", "sim")),
+            time_limit=_opt_float(data.get("time_limit")),
+            conflict_limit=_opt_int(data.get("conflict_limit")),
+            cut_limit=_opt_int(data.get("cut_limit")),
+            mem_limit_mb=_opt_int(data.get("mem_limit_mb")),
+            db=_opt_str(data.get("db")),
+            output=_opt_str(data.get("output")),
+        )
+
+
+def _opt_float(value) -> float | None:
+    return None if value is None else float(value)
+
+
+def _opt_int(value) -> int | None:
+    return None if value is None else int(value)
+
+
+def _opt_str(value) -> str | None:
+    return None if value is None else str(value)
+
+
+def degraded(spec: JobSpec) -> tuple[JobSpec, list[str]]:
+    """One rung down the retry ladder: weaker parameters, same job.
+
+    Returns the degraded spec and a human-readable list of the applied
+    degradations (empty when the spec is already at the floor — the
+    retry then only buys a fresh process).  Verification is weakened from
+    ``cec`` to ``sim`` but never below: a retried job must still produce
+    a verified result.
+    """
+    notes: list[str] = []
+    changes: dict = {}
+    if spec.verify == "cec":
+        changes["verify"] = "sim"
+        notes.append("verify:cec->sim")
+    if spec.conflict_limit is not None and spec.conflict_limit > MIN_CONFLICT_LIMIT:
+        new_limit = max(MIN_CONFLICT_LIMIT, spec.conflict_limit // 2)
+        changes["conflict_limit"] = new_limit
+        notes.append(f"conflict_limit:{spec.conflict_limit}->{new_limit}")
+    # The engine default cut limit is 8; an unset spec degrades from there.
+    effective_cuts = spec.cut_limit if spec.cut_limit is not None else 8
+    if effective_cuts > MIN_CUT_LIMIT:
+        new_cuts = max(MIN_CUT_LIMIT, effective_cuts // 2)
+        changes["cut_limit"] = new_cuts
+        notes.append(f"cut_limit:{effective_cuts}->{new_cuts}")
+    if not changes:
+        return spec, notes
+    return replace(spec, **changes), notes
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class JobRecord:
+    """Replayed state of one job (see :meth:`JobJournal.replay`)."""
+
+    spec: JobSpec
+    state: str = "pending"
+    attempts: int = 0
+    pid: int | None = None
+    #: spec actually used by the latest attempt (after degradation)
+    attempt_spec: JobSpec | None = None
+    degradations: list[str] = field(default_factory=list)
+    last_error: str | None = None
+    traceback: str | None = None
+    rusage: dict | None = None
+    result: dict | None = None
+    #: True when a resume adopted an existing result artifact
+    adopted: bool = False
+
+    @property
+    def effective_spec(self) -> JobSpec:
+        return self.attempt_spec if self.attempt_spec is not None else self.spec
+
+
+class JournalReplay:
+    """Outcome of replaying a journal file."""
+
+    def __init__(self) -> None:
+        self.records: dict[str, JobRecord] = {}
+        #: submit order, so scheduling is stable across resumes
+        self.order: list[str] = []
+        self.skipped_lines = 0
+        self.events = 0
+
+    def by_state(self, state: str) -> list[JobRecord]:
+        return [
+            self.records[job_id]
+            for job_id in self.order
+            if self.records[job_id].state == state
+        ]
+
+
+class JobJournal:
+    """Append-only, fsynced JSONL event log for a batch.
+
+    Writes follow the PR 1 crash-safety rules adapted to a log: each
+    event is one JSON line appended with ``O_APPEND`` semantics, flushed
+    and fsynced before :meth:`append` returns, so the supervisor never
+    acts on an event that could be lost.  A crash mid-append leaves at
+    most one torn final line, which :meth:`replay` discards (torn or
+    otherwise malformed lines are counted in ``skipped_lines``, mirroring
+    the NPN database loader).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fp = open(self.path, "ab")
+
+    def close(self) -> None:
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, event: str, job_id: str, **payload) -> None:
+        """Durably record one event before the caller acts on it."""
+        record = {"event": event, "job": job_id}
+        record.update(payload)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        self._fp.write(line.encode("utf-8"))
+        self._fp.flush()
+        os.fsync(self._fp.fileno())
+
+    def submit(self, spec: JobSpec) -> None:
+        self.append("submit", spec.job_id, spec=spec.to_dict())
+
+    def start(self, job_id: str, attempt: int, pid: int, spec: JobSpec) -> None:
+        self.append("start", job_id, attempt=attempt, pid=pid, spec=spec.to_dict())
+
+    def done(self, job_id: str, result: dict, adopted: bool = False) -> None:
+        self.append("done", job_id, result=result, adopted=adopted)
+
+    def failed(
+        self,
+        job_id: str,
+        attempt: int,
+        error: str,
+        traceback: str | None = None,
+        rusage: dict | None = None,
+    ) -> None:
+        self.append(
+            "failed", job_id, attempt=attempt, error=error,
+            traceback=traceback, rusage=rusage,
+        )
+
+    def requeued(self, job_id: str, degradations: list[str]) -> None:
+        self.append("requeued", job_id, degradations=degradations)
+
+    def quarantined(
+        self,
+        job_id: str,
+        error: str,
+        traceback: str | None = None,
+        rusage: dict | None = None,
+    ) -> None:
+        self.append(
+            "quarantined", job_id, error=error, traceback=traceback, rusage=rusage
+        )
+
+    # -- replay ------------------------------------------------------------
+
+    @classmethod
+    def replay(cls, path: str | Path) -> JournalReplay:
+        """Reconstruct batch state from the journal at *path*.
+
+        Unknown events and malformed lines are skipped (and counted), so
+        a journal written by a newer version or torn by a crash still
+        replays; the state machine is driven only by events whose job is
+        known (except ``submit``, which introduces it).
+        """
+        state = JournalReplay()
+        path = Path(path)
+        if not path.exists():
+            return state
+        with open(path, "rb") as fp:
+            for raw in fp:
+                try:
+                    data = json.loads(raw.decode("utf-8"))
+                    event = data["event"]
+                    job_id = str(data["job"])
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    state.skipped_lines += 1
+                    continue
+                state.events += 1
+                if event == "submit":
+                    if job_id not in state.records:
+                        try:
+                            spec = JobSpec.from_dict(data["spec"])
+                        except (KeyError, TypeError, ValueError):
+                            state.skipped_lines += 1
+                            continue
+                        state.records[job_id] = JobRecord(spec=spec)
+                        state.order.append(job_id)
+                    continue
+                record = state.records.get(job_id)
+                if record is None or record.state in ("done", "quarantined"):
+                    # Terminal states are immutable: a duplicate or stale
+                    # event (e.g. replayed from a pre-crash attempt) is
+                    # ignored rather than double-counting the job.
+                    continue
+                if event == "start":
+                    record.state = "running"
+                    record.attempts = int(data.get("attempt", record.attempts + 1))
+                    record.pid = _opt_int(data.get("pid"))
+                    try:
+                        record.attempt_spec = JobSpec.from_dict(data["spec"])
+                    except (KeyError, TypeError, ValueError):
+                        record.attempt_spec = None
+                elif event == "done":
+                    record.state = "done"
+                    record.result = data.get("result")
+                    record.adopted = bool(data.get("adopted", False))
+                elif event == "failed":
+                    record.state = "failed"
+                    record.last_error = _opt_str(data.get("error"))
+                    record.traceback = _opt_str(data.get("traceback"))
+                    record.rusage = data.get("rusage")
+                elif event == "requeued":
+                    record.state = "pending"
+                    degradations = list(data.get("degradations", []))
+                    record.degradations.extend(degradations)
+                    if "resume:interrupted" in degradations:
+                        # The interrupted attempt never concluded; it is
+                        # re-run under the same attempt number.
+                        record.attempts = max(0, record.attempts - 1)
+                elif event == "quarantined":
+                    record.state = "quarantined"
+                    record.last_error = _opt_str(data.get("error"))
+                    record.traceback = _opt_str(data.get("traceback"))
+                    record.rusage = data.get("rusage")
+                else:
+                    state.skipped_lines += 1
+        return state
+
+
+# ----------------------------------------------------------------------
+# result artifacts
+# ----------------------------------------------------------------------
+
+#: keys a worker result artifact must carry to be adopted
+_RESULT_REQUIRED_KEYS = ("job_id", "status")
+
+
+def load_result_artifact(path: str | Path, job_id: str) -> dict | None:
+    """Load and validate a worker result artifact.
+
+    Returns the payload dict, or ``None`` when the file is missing,
+    unparsable, or belongs to a different job (the corrupt file is
+    quarantined so the evidence survives, per the artifact rules).
+    """
+    from .artifacts import quarantine
+
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            payload = json.load(fp)
+    except (ValueError, OSError):
+        quarantine(path)
+        return None
+    if not isinstance(payload, dict) or any(
+        key not in payload for key in _RESULT_REQUIRED_KEYS
+    ):
+        quarantine(path)
+        return None
+    if str(payload["job_id"]) != job_id:
+        quarantine(path)
+        return None
+    return payload
+
+
+# ----------------------------------------------------------------------
+# batch report
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchReport:
+    """Merged outcome of one supervised batch run."""
+
+    total: int = 0
+    done: int = 0
+    quarantined: int = 0
+    #: failed attempts across all jobs (retries included)
+    failed_attempts: int = 0
+    retries: int = 0
+    #: jobs whose result was adopted from a previous run on resume
+    adopted: int = 0
+    wall_seconds: float = 0.0
+    #: peak number of simultaneously live workers
+    max_concurrent: int = 0
+    #: worker slot index -> number of jobs that slot completed
+    jobs_per_slot: dict[int, int] = field(default_factory=dict)
+    #: merged hot-path counters from every successful job
+    metrics: PassMetrics = field(default_factory=PassMetrics)
+    #: per-job summaries in submit order
+    jobs: list[dict] = field(default_factory=list)
+
+    @property
+    def workers_used(self) -> int:
+        """Distinct worker slots that completed at least one job."""
+        return sum(1 for count in self.jobs_per_slot.values() if count)
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "quarantined": self.quarantined,
+            "failed_attempts": self.failed_attempts,
+            "retries": self.retries,
+            "adopted": self.adopted,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "max_concurrent": self.max_concurrent,
+            "workers_used": self.workers_used,
+            "jobs_per_slot": {str(k): v for k, v in self.jobs_per_slot.items()},
+            "metrics": self.metrics.to_dict(),
+            "jobs": list(self.jobs),
+        }
+
+    def iter_job_summaries(self) -> Iterator[dict]:
+        return iter(self.jobs)

@@ -1,0 +1,564 @@
+"""The supervised parallel batch runtime: worker pool + watchdog + journal.
+
+PR 1's in-process budgets make a single optimization trustworthy *when
+the code cooperates*; this module contains the cases where it does not —
+a CDCL run that ignores its poll points, a memory blowup, a hard crash —
+by moving each job into its own subprocess and supervising it at the OS
+level:
+
+* **process isolation** — every job runs ``python -m
+  repro.runtime.worker`` with its own address-space rlimit; spec and
+  result travel through atomically written JSON files;
+* **hard wall-clock watchdog** — a job past its time limit is sent
+  SIGTERM; one that ignores it (see the ``worker.hang`` fault) is
+  SIGKILLed after a grace period.  The batch always finishes;
+* **retry with degradation** — a failed attempt is re-queued with
+  exponential backoff and *weaker parameters*
+  (:func:`repro.runtime.jobs.degraded`) until it succeeds or exhausts
+  ``max_attempts`` and is quarantined with the captured traceback and
+  rusage;
+* **crash-recoverable journal** — every state transition is fsynced to
+  the JSONL journal *before* the supervisor acts on it.  ``kill -9`` of
+  the supervisor or any worker mid-batch loses nothing: a resumed run
+  re-queues orphaned ``running`` jobs (adopting an already-written valid
+  result instead of re-running), skips terminal ones, and completes
+  every job exactly once.
+
+The public entry point is :func:`run_batch`; the ``migopt batch`` CLI
+subcommand and ``benchmarks/flows.py`` are thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from . import faults
+from .artifacts import atomic_write_text
+from .jobs import (
+    BatchReport,
+    JobJournal,
+    JobRecord,
+    JobSpec,
+    degraded,
+    load_result_artifact,
+)
+from .metrics import PassMetrics
+
+__all__ = ["Supervisor", "run_batch", "spec_for_attempt"]
+
+#: scheduler tick — how often running workers are polled
+_POLL_INTERVAL = 0.02
+
+
+def spec_for_attempt(base: JobSpec, attempt: int) -> tuple[JobSpec, list[str]]:
+    """The (possibly degraded) spec used by attempt *attempt* (1-based).
+
+    Attempt 1 runs the base spec; each further attempt descends one rung
+    of the degradation ladder.  Computed, not stored, so a resumed
+    supervisor reconstructs the identical spec from the attempt number
+    alone.  Returns the spec and the notes for the *last* rung applied.
+    """
+    spec = base
+    notes: list[str] = []
+    for _ in range(max(0, attempt - 1)):
+        spec, notes = degraded(spec)
+    return spec, notes
+
+
+@dataclass
+class _Running:
+    """Supervisor-side state of one live worker."""
+
+    job_id: str
+    proc: subprocess.Popen
+    slot: int
+    attempt: int
+    started: float
+    result_path: Path
+    #: SIGTERM instant (None = no wall-clock watchdog for this job)
+    term_at: float | None
+    #: SIGKILL instant
+    kill_at: float | None
+    termed: bool = False
+    killed: bool = False
+
+
+class Supervisor:
+    """Schedules jobs from the journal across a pool of worker processes.
+
+    *workdir* holds everything the batch persists::
+
+        workdir/
+          journal.jsonl     the crash-safe event log
+          specs/<job>.json  the spec each worker reads (per attempt)
+          results/<job>.json  the artifact each worker writes
+          report.json       the final merged BatchReport
+
+    *grace* is the SIGTERM→SIGKILL escalation window;
+    *startup_margin* pads the watchdog for interpreter start-up so a
+    healthy worker that honors its in-process budget is never killed;
+    *backoff_base* seconds doubles per failed attempt (kept small in
+    tests); *default_time_limit* applies to specs without their own.
+    """
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        num_workers: int = 1,
+        grace: float = 2.0,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        default_time_limit: float | None = None,
+        startup_margin: float = 1.0,
+        verbose: bool = False,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self.workdir = Path(workdir)
+        self.num_workers = num_workers
+        self.grace = grace
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.default_time_limit = default_time_limit
+        self.startup_margin = startup_margin
+        self.verbose = verbose
+        self.specs_dir = self.workdir / "specs"
+        self.results_dir = self.workdir / "results"
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        return self.workdir / "journal.jsonl"
+
+    @property
+    def report_path(self) -> Path:
+        return self.workdir / "report.json"
+
+    def _spec_path(self, job_id: str) -> Path:
+        return self.specs_dir / f"{job_id}.json"
+
+    def _result_path(self, job_id: str) -> Path:
+        return self.results_dir / f"{job_id}.json"
+
+    # -- batch entry ------------------------------------------------------
+
+    def run(self, specs: list[JobSpec], resume: bool = False) -> BatchReport:
+        """Run (or resume) a batch; returns the merged report.
+
+        Without *resume* an existing journal is an error — accidentally
+        pointing two different batches at one workdir must not silently
+        merge them.  With *resume*, *specs* may be empty (the journal
+        already knows the jobs) or repeat the original submission
+        (idempotent: known job ids are not re-submitted).
+        """
+        if self.journal_path.exists() and not resume:
+            raise FileExistsError(
+                f"{self.journal_path} already exists; pass resume=True "
+                "(or --resume) to continue it, or use a fresh workdir"
+            )
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.specs_dir.mkdir(parents=True, exist_ok=True)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+
+        replay = JobJournal.replay(self.journal_path)
+        started = time.monotonic()
+        with JobJournal(self.journal_path) as journal:
+            records = replay.records
+            order = replay.order
+            for spec in specs:
+                if spec.job_id in records:
+                    continue
+                journal.submit(spec)
+                records[spec.job_id] = JobRecord(spec=spec)
+                order.append(spec.job_id)
+
+            ready, delayed = self._recover(journal, records, order)
+            report = self._loop(journal, records, order, ready, delayed)
+
+        report.wall_seconds = time.monotonic() - started
+        report.total = len(order)
+        for job_id in order:
+            record = records[job_id]
+            summary = {
+                "job_id": job_id,
+                "state": record.state,
+                "attempts": record.attempts,
+            }
+            if record.adopted:
+                summary["adopted"] = True
+            if record.degradations:
+                summary["degradations"] = list(record.degradations)
+            if record.result is not None:
+                for key in ("size_before", "size_after", "depth_before",
+                            "depth_after", "runtime", "verify", "output",
+                            "metrics", "steps"):
+                    if key in record.result:
+                        summary[key] = record.result[key]
+            if record.last_error is not None:
+                summary["error"] = record.last_error
+            report.jobs.append(summary)
+        atomic_write_text(
+            self.report_path, json.dumps(report.to_dict(), sort_keys=True) + "\n"
+        )
+        return report
+
+    # -- recovery ---------------------------------------------------------
+
+    def _recover(
+        self,
+        journal: JobJournal,
+        records: dict[str, JobRecord],
+        order: list[str],
+    ) -> tuple[list[str], dict[str, float]]:
+        """Re-queue interrupted jobs; returns (ready ids, delayed id->eligible_at).
+
+        ``running`` records belong to a supervisor that died: their
+        orphaned workers are killed, and each job either adopts an
+        already-complete valid result artifact (exactly-once: no re-run)
+        or is re-queued at the same attempt number.  ``failed`` records
+        (a crash between the failure and its requeue/quarantine decision)
+        go back through the retry policy.
+        """
+        ready: list[str] = []
+        delayed: dict[str, float] = {}
+        for job_id in order:
+            record = records[job_id]
+            if record.state == "running":
+                self._kill_orphan(record.pid)
+                payload = load_result_artifact(self._result_path(job_id), job_id)
+                if payload is not None and payload.get("status") == "ok":
+                    journal.done(job_id, self._result_summary(payload), adopted=True)
+                    record.state = "done"
+                    record.result = self._result_summary(payload)
+                    record.adopted = True
+                    continue
+                # Re-run the same attempt; the journal records the requeue
+                # so a replay after *another* crash stays consistent.
+                journal.requeued(job_id, ["resume:interrupted"])
+                record.state = "pending"
+                record.attempts = max(0, record.attempts - 1)
+                ready.append(job_id)
+            elif record.state == "failed":
+                self._retry_or_quarantine(
+                    journal, record, job_id,
+                    error=record.last_error or "unknown failure",
+                    traceback=record.traceback,
+                    rusage=record.rusage,
+                    delayed=delayed,
+                    ready=ready,
+                    report=None,
+                )
+            elif record.state == "pending":
+                ready.append(job_id)
+        return ready, delayed
+
+    @staticmethod
+    def _kill_orphan(pid: int | None) -> None:
+        """Kill a worker left over from a dead supervisor (Linux-only check).
+
+        The pid is only signalled when ``/proc`` shows it still runs our
+        worker module — a recycled pid must never be shot.
+        """
+        if pid is None:
+            return
+        try:
+            cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+        except OSError:
+            return
+        if b"repro.runtime.worker" not in cmdline:
+            return
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            pass
+
+    # -- scheduling loop --------------------------------------------------
+
+    def _loop(
+        self,
+        journal: JobJournal,
+        records: dict[str, JobRecord],
+        order: list[str],
+        ready: list[str],
+        delayed: dict[str, float],
+    ) -> BatchReport:
+        report = BatchReport()
+        for record in records.values():
+            if record.state == "done":
+                report.done += 1
+                if record.adopted:
+                    report.adopted += 1
+                self._merge_metrics(report, record.result)
+            elif record.state == "quarantined":
+                report.quarantined += 1
+        running: dict[int, _Running] = {}
+        free_slots = list(range(self.num_workers))
+
+        while ready or delayed or running:
+            now = time.monotonic()
+            progressed = False
+
+            # Promote delayed retries whose backoff elapsed.
+            for job_id in [j for j, at in delayed.items() if at <= now]:
+                del delayed[job_id]
+                ready.append(job_id)
+                progressed = True
+
+            # Fill free worker slots.
+            while ready and free_slots:
+                job_id = ready.pop(0)
+                slot = free_slots.pop(0)
+                running[slot] = self._spawn(journal, records[job_id], job_id, slot)
+                report.max_concurrent = max(report.max_concurrent, len(running))
+                progressed = True
+
+            # Poll workers; escalate the watchdog on overdue ones.
+            for slot in list(running):
+                worker = running[slot]
+                rc = worker.proc.poll()
+                if rc is not None:
+                    del running[slot]
+                    free_slots.append(slot)
+                    free_slots.sort()
+                    self._finish(
+                        journal, records[worker.job_id], worker, rc,
+                        report, ready, delayed,
+                    )
+                    progressed = True
+                    continue
+                now = time.monotonic()
+                if worker.kill_at is not None and now >= worker.kill_at and not worker.killed:
+                    worker.proc.kill()
+                    worker.killed = True
+                elif worker.term_at is not None and now >= worker.term_at and not worker.termed:
+                    worker.proc.terminate()
+                    worker.termed = True
+
+            if not progressed:
+                # Nothing to do but wait: sleep until the next deadline of
+                # interest (retry eligibility or watchdog escalation).
+                time.sleep(_POLL_INTERVAL)
+        return report
+
+    def _spawn(
+        self, journal: JobJournal, record: JobRecord, job_id: str, slot: int
+    ) -> _Running:
+        attempt = record.attempts + 1
+        spec, notes = spec_for_attempt(record.spec, attempt)
+        if spec.time_limit is None and self.default_time_limit is not None:
+            spec = replace(spec, time_limit=self.default_time_limit)
+        record.attempt_spec = spec
+        if notes:
+            for note in notes:
+                if note not in record.degradations:
+                    record.degradations.append(note)
+
+        spec_path = self._spec_path(job_id)
+        result_path = self._result_path(job_id)
+        # A stale artifact from a previous attempt must not be mistaken
+        # for this attempt's result.
+        try:
+            os.unlink(result_path)
+        except OSError:
+            pass
+        atomic_write_text(spec_path, json.dumps(spec.to_dict(), sort_keys=True) + "\n")
+
+        log_path = self.workdir / "logs" / f"{job_id}.log"
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(log_path, "ab") as log_fp:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.runtime.worker",
+                 str(spec_path), str(result_path)],
+                env=self._child_env(),
+                stdout=subprocess.DEVNULL,
+                stderr=log_fp,
+                cwd=str(self.workdir),
+            )
+        journal.start(job_id, attempt, proc.pid, spec)
+        record.state = "running"
+        record.attempts = attempt
+        record.pid = proc.pid
+        if self.verbose:
+            print(f"[supervisor] start {job_id} attempt {attempt} pid {proc.pid}"
+                  + (f" degraded {notes}" if notes else ""))
+
+        started = time.monotonic()
+        term_at = kill_at = None
+        if spec.time_limit is not None:
+            term_at = started + spec.time_limit + self.startup_margin
+            kill_at = term_at + self.grace
+        return _Running(
+            job_id=job_id, proc=proc, slot=slot, attempt=attempt,
+            started=started, result_path=result_path,
+            term_at=term_at, kill_at=kill_at,
+        )
+
+    def _child_env(self) -> dict[str, str]:
+        """Environment for a worker: import path + fault handshake.
+
+        Armed non-``worker.*`` faults are copied into ``REPRO_FAULTS`` so
+        in-worker fault points fire end-to-end.  The ``worker.*`` family
+        is instead *consumed here*, one probe per spawn: a firing probe
+        dooms exactly the worker being spawned, which keeps ``times=N``
+        accounting in one process even across retries.
+        """
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        entries = []
+        passthrough = faults.env_spec(exclude_prefix="worker.")
+        if passthrough:
+            entries.append(passthrough)
+        for name in faults.armed_names(prefix="worker."):
+            if faults.fault_active(name):
+                entries.append(f"{name}:times=1")
+        if entries:
+            env[faults.FAULTS_ENV_VAR] = ",".join(entries)
+        else:
+            env.pop(faults.FAULTS_ENV_VAR, None)
+        return env
+
+    # -- completion -------------------------------------------------------
+
+    def _finish(
+        self,
+        journal: JobJournal,
+        record: JobRecord,
+        worker: _Running,
+        returncode: int,
+        report: BatchReport,
+        ready: list[str],
+        delayed: dict[str, float],
+    ) -> None:
+        job_id = worker.job_id
+        payload = load_result_artifact(worker.result_path, job_id)
+        if payload is not None and payload.get("status") == "ok":
+            summary = self._result_summary(payload)
+            journal.done(job_id, summary)
+            record.state = "done"
+            record.result = summary
+            report.done += 1
+            report.jobs_per_slot[worker.slot] = (
+                report.jobs_per_slot.get(worker.slot, 0) + 1
+            )
+            self._merge_metrics(report, payload)
+            if self.verbose:
+                print(f"[supervisor] done {job_id} "
+                      f"({summary.get('size_before')}->{summary.get('size_after')})")
+            return
+
+        traceback = rusage = None
+        if payload is not None:  # controlled in-worker failure
+            error = str(payload.get("error", "worker reported failure"))
+            traceback = payload.get("traceback")
+            rusage = payload.get("rusage")
+        elif worker.killed:
+            error = (
+                f"SIGKILLed by watchdog after "
+                f"{time.monotonic() - worker.started:.1f}s "
+                f"(limit {record.effective_spec.time_limit}s + grace {self.grace}s)"
+            )
+        elif worker.termed:
+            error = (
+                f"SIGTERMed by watchdog after "
+                f"{time.monotonic() - worker.started:.1f}s "
+                f"(limit {record.effective_spec.time_limit}s)"
+            )
+        elif returncode < 0:
+            error = f"worker died on signal {-returncode}"
+        else:
+            error = f"worker exited with code {returncode} and no result artifact"
+        report.failed_attempts += 1
+        journal.failed(job_id, worker.attempt, error, traceback, rusage)
+        record.state = "failed"
+        record.last_error = error
+        record.traceback = traceback
+        record.rusage = rusage
+        if self.verbose:
+            print(f"[supervisor] failed {job_id} attempt {worker.attempt}: {error}")
+        self._retry_or_quarantine(
+            journal, record, job_id, error, traceback, rusage,
+            delayed, ready, report,
+        )
+
+    def _retry_or_quarantine(
+        self,
+        journal: JobJournal,
+        record: JobRecord,
+        job_id: str,
+        error: str,
+        traceback: str | None,
+        rusage: dict | None,
+        delayed: dict[str, float],
+        ready: list[str],
+        report: BatchReport | None,
+    ) -> None:
+        if record.attempts >= self.max_attempts:
+            journal.quarantined(job_id, error, traceback, rusage)
+            record.state = "quarantined"
+            if report is not None:
+                report.quarantined += 1
+            if self.verbose:
+                print(f"[supervisor] quarantined {job_id}: {error}")
+            return
+        _, notes = spec_for_attempt(record.spec, record.attempts + 1)
+        journal.requeued(job_id, notes)
+        record.state = "pending"
+        if report is not None:
+            report.retries += 1
+        backoff = self.backoff_base * (2 ** max(0, record.attempts - 1))
+        if backoff > 0:
+            delayed[job_id] = time.monotonic() + backoff
+        else:
+            ready.append(job_id)
+
+    @staticmethod
+    def _result_summary(payload: dict) -> dict:
+        """The journal-worthy slice of a worker result (drop bulky fields)."""
+        summary = {
+            key: payload[key]
+            for key in (
+                "size_before", "size_after", "depth_before", "depth_after",
+                "runtime", "verify", "output", "pid", "metrics",
+            )
+            if key in payload
+        }
+        summary["steps"] = [
+            {k: s.get(k) for k in ("step", "status", "verified", "runtime") if k in s}
+            for s in payload.get("steps", [])
+        ]
+        return summary
+
+    @staticmethod
+    def _merge_metrics(report: BatchReport, payload: dict | None) -> None:
+        if not payload:
+            return
+        metrics = payload.get("metrics")
+        if isinstance(metrics, dict):
+            report.metrics.merge(PassMetrics.from_dict(metrics))
+
+
+def run_batch(
+    specs: list[JobSpec],
+    workdir: str | Path,
+    num_workers: int = 1,
+    resume: bool = False,
+    **kwargs,
+) -> BatchReport:
+    """Run *specs* under a :class:`Supervisor` in *workdir*; see class docs."""
+    supervisor = Supervisor(workdir, num_workers=num_workers, **kwargs)
+    return supervisor.run(specs, resume=resume)

@@ -1,0 +1,257 @@
+"""Worker subprocess entry point: ``python -m repro.runtime.worker``.
+
+One worker runs exactly one :class:`~repro.runtime.jobs.JobSpec` and
+exits.  The process boundary is the isolation unit the in-process
+runtime cannot provide: a CDCL run that ignores its poll points, a
+memory blowup, or a hard crash takes down *this* process only — the
+supervisor's watchdog and rlimits contain it.
+
+Protocol (see :mod:`repro.runtime.supervisor` for the other side):
+
+* argv: ``worker SPEC_PATH RESULT_PATH`` — the spec is a JSON file
+  written atomically by the supervisor; the result is written atomically
+  by the worker (so a kill at any instant leaves either no result or a
+  complete one, never a torn file);
+* env: ``REPRO_FAULTS`` arms :mod:`repro.runtime.faults` in the child so
+  fault-injection tests exercise the supervised path end-to-end;
+* exit code 0 means "a result artifact was written" — its ``status``
+  field says whether the job succeeded (``ok``) or failed in a
+  controlled way (``failed``, with the traceback captured).  Any other
+  exit (nonzero, signal) means "no trustworthy result": the supervisor
+  treats it as a crash.
+
+The worker applies its own safety rails before touching the job: the
+address-space rlimit from the spec, and an in-process
+:class:`~repro.runtime.budget.Budget` built from the spec's limits so a
+healthy job exits politely well before the supervisor's hard watchdog
+(SIGTERM → grace → SIGKILL) has to fire.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+import traceback as traceback_module
+
+from .artifacts import atomic_write_text
+from .budget import Budget
+from .faults import arm_from_env, fault_active
+from .jobs import JobSpec
+from .metrics import PassMetrics
+
+__all__ = ["run_job", "main"]
+
+#: exit code for the injected hard-crash fault (any nonzero would do;
+#: a distinctive value makes supervisor logs readable)
+CRASH_EXIT_CODE = 77
+
+
+def _set_memory_limit(mem_limit_mb: int) -> None:
+    """Cap the worker's address space (best effort; Linux/macOS only)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return
+    limit = mem_limit_mb * 1024 * 1024
+    try:
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ValueError, OSError):
+        pass
+
+
+def _rusage_dict() -> dict | None:
+    """Self rusage snapshot for the result artifact (None off-POSIX)."""
+    try:
+        import resource
+    except ImportError:
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "utime": usage.ru_utime,
+        "stime": usage.ru_stime,
+        "maxrss_kb": usage.ru_maxrss,
+    }
+
+
+def _load_network(network: dict):
+    from ..core.mig import Mig  # noqa: F401 - type only
+
+    if "generate" in network:
+        from ..generators.epfl import SUITE_SPECS
+
+        name = network["generate"]
+        if name not in SUITE_SPECS:
+            raise ValueError(
+                f"unknown generator {name!r}; choose from {sorted(SUITE_SPECS)}"
+            )
+        _, generator, _, scaled_kwargs = SUITE_SPECS[name]
+        kwargs = dict(scaled_kwargs)
+        if network.get("width") is not None:
+            kwargs = {"width": int(network["width"])}
+        return generator(**kwargs)
+    if "blif" in network:
+        from ..io.blif import read_blif
+
+        with open(network["blif"], "r", encoding="utf-8") as fp:
+            return read_blif(fp)
+    if "bench" in network:
+        from ..io.bench import read_bench
+
+        with open(network["bench"], "r", encoding="utf-8") as fp:
+            return read_bench(fp)
+    raise ValueError(f"job network spec {network!r} names no circuit source")
+
+
+def run_job(spec: JobSpec) -> dict:
+    """Execute one job in-process and return the result payload.
+
+    Factored out of :func:`main` so tests can exercise the job semantics
+    without a subprocess; the supervised path adds the isolation around
+    exactly this function.
+    """
+    from ..database.npn_db import NpnDatabase
+    from ..opt.flow import optimize_until_convergence, run_flow
+
+    start = time.perf_counter()
+    mig = _load_network(spec.network)
+
+    needs_db = spec.mode == "converge" or any(
+        step.strip().upper() in _variant_names() for step in spec.script
+    )
+    db = NpnDatabase.load(spec.db) if needs_db else None
+
+    budget = None
+    if spec.time_limit is not None or spec.conflict_limit is not None:
+        budget = Budget.from_limits(
+            time_limit=spec.time_limit, conflict_limit=spec.conflict_limit
+        )
+
+    metrics = PassMetrics()
+    steps_payload: list[dict] = []
+    if spec.mode == "converge":
+        result, passes = optimize_until_convergence(
+            mig,
+            db,
+            variant=spec.variant,
+            max_passes=spec.max_passes,
+            budget=budget,
+            verify=spec.verify,
+            on_error="rollback",
+            metrics=metrics,
+            cut_limit=spec.cut_limit,
+        )
+        steps_payload.append({"step": spec.variant, "status": "ok", "passes": passes})
+    elif spec.mode == "flow":
+        result, history = run_flow(
+            mig,
+            db,
+            list(spec.script),
+            budget=budget,
+            verify=spec.verify,
+            on_error="rollback",
+            cut_limit=spec.cut_limit,
+        )
+        for stats in history:
+            entry = {
+                "step": stats.step,
+                "status": stats.status,
+                "verified": stats.verified,
+                "runtime": round(stats.runtime, 6),
+                "size_after": stats.size_after,
+                "depth_after": stats.depth_after,
+            }
+            if stats.error is not None:
+                entry["error"] = stats.error
+            if stats.metrics is not None:
+                metrics.merge(stats.metrics)
+            steps_payload.append(entry)
+    else:
+        raise ValueError(f"unknown job mode {spec.mode!r}; use 'flow' or 'converge'")
+
+    if spec.output is not None:
+        import io as io_module
+        from pathlib import Path
+
+        from ..io.blif import write_blif
+
+        buf = io_module.StringIO()
+        write_blif(result, buf)
+        Path(spec.output).parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(spec.output, buf.getvalue())
+
+    return {
+        "job_id": spec.job_id,
+        "status": "ok",
+        "size_before": mig.num_gates,
+        "depth_before": mig.depth(),
+        "size_after": result.num_gates,
+        "depth_after": result.depth(),
+        "runtime": round(time.perf_counter() - start, 6),
+        "verify": spec.verify,
+        "steps": steps_payload,
+        "metrics": metrics.to_dict(),
+        "output": spec.output,
+        "rusage": _rusage_dict(),
+        "pid": os.getpid(),
+    }
+
+
+def _variant_names() -> tuple[str, ...]:
+    from ..rewriting.engine import VARIANTS
+
+    return VARIANTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python -m repro.runtime.worker SPEC_PATH RESULT_PATH",
+              file=sys.stderr)
+        return 2
+    spec_path, result_path = argv
+
+    arm_from_env()
+
+    with open(spec_path, "r", encoding="utf-8") as fp:
+        spec = JobSpec.from_dict(json.load(fp))
+
+    if spec.mem_limit_mb is not None:
+        _set_memory_limit(spec.mem_limit_mb)
+
+    if fault_active("worker.hang"):
+        # Model a worker stuck in native code that ignores every deadline
+        # *and* SIGTERM — only the supervisor's SIGKILL escalation ends it.
+        try:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        except (ValueError, OSError):
+            pass
+        while True:
+            pass
+
+    if fault_active("worker.crash"):
+        # Model a segfault: vanish without a result artifact.
+        os._exit(CRASH_EXIT_CODE)
+
+    try:
+        payload = run_job(spec)
+    except BaseException as exc:  # noqa: BLE001 - process boundary
+        payload = {
+            "job_id": spec.job_id,
+            "status": "failed",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback_module.format_exc(),
+            "rusage": _rusage_dict(),
+            "pid": os.getpid(),
+        }
+    atomic_write_text(result_path, json.dumps(payload, sort_keys=True) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -258,3 +258,101 @@ class TestRandomizedInvariants:
         out = mig.simulate()[0]
         s = mig.outputs[0]
         assert out == values[s >> 1] ^ (mask if s & 1 else 0)
+
+
+class TestCheck:
+    """The structural validator guards everything ``maj()`` guarantees."""
+
+    @staticmethod
+    def _mig_with_gates() -> Mig:
+        mig = Mig(3)
+        a, b, c = mig.pi_signals()
+        g1 = mig.maj(a, b, c)
+        g2 = mig.maj(a, signal_not(b), g1)
+        mig.add_po(g2)
+        return mig
+
+    def test_valid_networks_pass(self, full_adder):
+        full_adder.check()
+        self._mig_with_gates().check()
+        Mig(2).check()  # no gates, no outputs
+
+    def test_corrupt_constant_terminal(self):
+        mig = self._mig_with_gates()
+        mig._fanins[0] = (2, 4, 6)
+        with pytest.raises(ValueError, match="constant-0"):
+            mig.check()
+
+    def test_pi_with_fanins(self):
+        mig = self._mig_with_gates()
+        mig._fanins[1] = (0, 4, 6)
+        with pytest.raises(ValueError, match="PI node 1"):
+            mig.check()
+
+    def test_gate_missing_fanins(self):
+        mig = self._mig_with_gates()
+        mig._fanins[4] = None
+        with pytest.raises(ValueError, match="no fanins"):
+            mig.check()
+
+    def test_gate_wrong_arity(self):
+        mig = self._mig_with_gates()
+        mig._fanins[4] = mig._fanins[4][:2]
+        with pytest.raises(ValueError, match="2 fanins"):
+            mig.check()
+
+    def test_dangling_fanin(self):
+        mig = self._mig_with_gates()
+        fanin = mig._fanins[4]
+        mig._fanins[4] = (fanin[0], fanin[1], make_signal(999))
+        with pytest.raises(ValueError, match="dangling"):
+            mig.check()
+
+    def test_topological_order_broken(self):
+        mig = self._mig_with_gates()
+        # Gate 4 referencing gate 5 is a forward reference (cycle seed).
+        mig._fanins[4] = (2, 4, make_signal(5))
+        with pytest.raises(ValueError, match="topological"):
+            mig.check()
+
+    def test_unsorted_fanin_triple(self):
+        mig = self._mig_with_gates()
+        mig._fanins[4] = tuple(reversed(mig._fanins[4]))
+        with pytest.raises(ValueError, match="unsorted"):
+            mig.check()
+
+    def test_repeated_fanin_node(self):
+        mig = self._mig_with_gates()
+        mig._fanins[4] = (2, 2, 4)
+        with pytest.raises(ValueError, match="repeats"):
+            mig.check()
+
+    def test_two_complemented_fanins(self):
+        mig = self._mig_with_gates()
+        mig._fanins[4] = (3, 5, 6)
+        with pytest.raises(ValueError, match="inverter"):
+            mig.check()
+
+    def test_strash_disagreement(self):
+        mig = self._mig_with_gates()
+        mig._strash[(2, 4, 8)] = 999
+        with pytest.raises(ValueError, match="strash"):
+            mig.check()
+
+    def test_dangling_output(self):
+        mig = self._mig_with_gates()
+        mig._outputs[0] = make_signal(999)
+        with pytest.raises(ValueError, match="output 0"):
+            mig.check()
+
+    def test_name_list_mismatch(self):
+        mig = self._mig_with_gates()
+        mig._output_names.append("extra")
+        with pytest.raises(ValueError, match="mismatch"):
+            mig.check()
+
+    @given(random_mig())
+    @settings(max_examples=40, deadline=None)
+    def test_maj_built_networks_always_validate(self, mig):
+        mig.check()
+        mig.cleanup().check()

@@ -248,3 +248,71 @@ class TestFlowMetrics:
         assert history[0].status == "rolled-back"
         assert history[0].metrics is not None
         assert history[0].metrics.nodes_visited > 0
+
+
+class TestStructuralCheck:
+    """Satellite: ``Mig.check()`` runs after every pass under verify."""
+
+    def test_corrupt_structure_rolls_back(self, db):
+        mig = epfl.adder(6)
+        with faults.inject("flow.corrupt-structure", times=1):
+            result, history = run_flow(
+                mig, db, ["BF"], verify="sim", on_error="rollback"
+            )
+        faults.reset()
+        assert history[0].status == "rolled-back"
+        assert "structural invariant" in history[0].error
+        # The corrupted candidate was discarded: the input survives intact.
+        assert check_equivalence(mig, result)
+        result.check()
+
+    def test_corrupt_structure_raises_on_strict_policy(self, db):
+        mig = epfl.adder(6)
+        with faults.inject("flow.corrupt-structure", times=1):
+            with pytest.raises(VerificationFailed) as exc:
+                run_flow(mig, db, ["BF"], verify="sim", on_error="raise")
+        faults.reset()
+        assert exc.value.method == "structural"
+
+    def test_verify_off_skips_the_structural_check(self, db):
+        """check() is a verification feature, gated like verify_rewrite."""
+        mig = epfl.adder(6)
+        with faults.inject("flow.corrupt-structure", times=1):
+            result, history = run_flow(
+                mig, db, ["BF"], verify="off", on_error="rollback"
+            )
+        faults.reset()
+        assert history[0].status == "ok"
+        with pytest.raises(ValueError):
+            result.check()
+
+    def test_corrupt_structure_stops_convergence(self, db):
+        mig = epfl.square_root(6)
+        with faults.inject("flow.corrupt-structure", times=1, skip=1):
+            result, passes = optimize_until_convergence(
+                mig, db, "BF", verify="sim", on_error="rollback"
+            )
+        faults.reset()
+        assert passes == 1  # pass 2's corrupt result was rolled back
+        assert check_equivalence(mig, result)
+        result.check()
+
+
+class TestCutLimit:
+    def test_cut_limit_plumbs_through_run_flow(self, db):
+        mig = epfl.square_root(6)
+        wide, history_wide = run_flow(mig, db, ["BF"])
+        narrow, history_narrow = run_flow(mig, db, ["BF"], cut_limit=2)
+        assert check_equivalence(mig, narrow)
+        # A tighter cap admits at most as many cuts per node.
+        assert (
+            history_narrow[0].metrics.cuts_admitted
+            <= history_wide[0].metrics.cuts_admitted
+        )
+
+    def test_cut_limit_plumbs_through_convergence(self, db):
+        mig = epfl.adder(6)
+        result, passes = optimize_until_convergence(
+            mig, db, "BF", max_passes=2, cut_limit=2
+        )
+        assert check_equivalence(mig, result)

@@ -93,3 +93,56 @@ class TestSplit:
     def test_split_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             Budget.unlimited().split(0)
+
+
+class TestConcurrentChargeBack:
+    """split() children may live on worker threads; every charge must
+    reach the shared parent total without losing an update."""
+
+    def test_concurrent_children_charge_back_exactly(self):
+        import threading
+
+        parent = Budget.from_limits(conflict_limit=400_000)
+        children = parent.split(4)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker(child):
+            barrier.wait()
+            try:
+                for _ in range(1000):
+                    child.charge_conflicts(100)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(c,)) for c in children]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        # 4 threads x 1000 charges x 100 conflicts, none lost to a race.
+        assert parent.conflicts_spent == 400_000
+        assert parent.remaining_conflicts() == 0
+        assert parent.conflicts_expired()
+        for child in children:
+            assert child.conflicts_spent == 100_000
+
+    def test_concurrent_charges_on_one_budget(self):
+        import threading
+
+        budget = Budget.from_limits(conflict_limit=10_000_000)
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(5000):
+                budget.charge_conflicts(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert budget.conflicts_spent == 8 * 5000

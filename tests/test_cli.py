@@ -123,3 +123,65 @@ class TestFlow:
         with _pytest.raises(ValueError):
             main(["flow", "--generate", "adder", "--width", "4",
                   "--script", "nonsense"])
+
+
+class TestBatch:
+    def test_batch_runs_and_writes_outputs(self, capsys, tmp_path):
+        workdir = tmp_path / "batch"
+        code = main(
+            ["batch", "--generate", "adder", "--width", "6",
+             "--jobs", "2", "--backoff", "0.05",
+             "--workdir", str(workdir)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1/1 done" in out
+        assert (workdir / "outputs" / "adder-w6.blif").exists()
+        assert (workdir / "journal.jsonl").exists()
+        assert (workdir / "report.json").exists()
+
+    def test_batch_refuses_to_clobber_a_journal(self, capsys, tmp_path):
+        workdir = tmp_path / "batch"
+        workdir.mkdir()
+        (workdir / "journal.jsonl").write_text("")
+        with pytest.raises(SystemExit, match="resume"):
+            main(["batch", "--generate", "adder", "--width", "6",
+                  "--workdir", str(workdir)])
+
+    def test_batch_requires_circuits(self, tmp_path):
+        with pytest.raises(SystemExit, match="generate"):
+            main(["batch", "--workdir", str(tmp_path / "batch")])
+
+    def test_batch_resume_completed_is_noop(self, capsys, tmp_path):
+        workdir = tmp_path / "batch"
+        assert main(
+            ["batch", "--generate", "adder", "--width", "6",
+             "--workdir", str(workdir), "--backoff", "0.05"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["batch", "--workdir", str(workdir), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 done" in out
+
+    def test_batch_nonzero_exit_on_quarantine(self, capsys, tmp_path):
+        code = main(
+            ["batch", "--blif", str(tmp_path / "missing.blif"),
+             "--workdir", str(tmp_path / "batch"),
+             "--max-attempts", "1", "--backoff", "0.01"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "quarantined" in out
+
+    def test_batch_report_dump(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["batch", "--generate", "adder", "--width", "6",
+             "--workdir", str(tmp_path / "batch"), "--backoff", "0.05",
+             "--report", str(report_path)]
+        ) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["done"] == 1
+        assert payload["jobs"][0]["job_id"] == "adder-w6"
