@@ -324,6 +324,38 @@ def main(argv: list[str] | None = None) -> int:
     p_exact.add_argument("--vars", type=int, default=4)
     p_exact.add_argument("--budget", type=int, default=200000,
                          help="conflict budget per size")
+    p_exact.add_argument(
+        "--metrics", metavar="PATH",
+        help="dump per-size outcomes and solver counters as JSON to PATH "
+        "('-' for stdout); same sat_* schema as flow --metrics and "
+        "benchmarks/bench_exact.py",
+    )
+
+    p_db = sub.add_parser("db", help="NPN database maintenance")
+    db_sub = p_db.add_subparsers(dest="db_command", required=True)
+    p_db_gen = db_sub.add_parser(
+        "generate",
+        help="generate/improve the NPN-4 database (tree phase + SAT phase; "
+        "see python -m repro.database.generate)",
+    )
+    p_db_gen.add_argument("--out", default=None, help="output JSONL path")
+    p_db_gen.add_argument("--budget", type=int, default=30000,
+                          help="conflicts per SAT call")
+    p_db_gen.add_argument(
+        "--sat-seconds", type=float, default=0.0,
+        help="time for the SAT improvement phase (0 = trees only)",
+    )
+    p_db_gen.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="run the SAT phase across N supervised worker subprocesses "
+        "(0 = in-process serial; content is identical either way, and a "
+        "killed parallel run resumes from its job journal)",
+    )
+    p_db_gen.add_argument("--fresh", action="store_true",
+                          help="regenerate from scratch")
+    p_db_gen.add_argument("--largest-first", action="store_true",
+                          help="process the biggest entries first")
+    p_db_gen.add_argument("--quiet", action="store_true")
 
     args = parser.parse_args(argv)
 
@@ -421,6 +453,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "exact":
         spec = int(args.tt, 16)
         result = synthesize_exact(spec, args.vars, conflict_budget=args.budget)
+        if args.metrics:
+            _dump_metrics(args.metrics, {
+                "spec": f"0x{spec:x}",
+                "num_vars": args.vars,
+                "size": result.size,
+                "proven": result.proven,
+                "runtime": round(result.runtime, 6),
+                "k_outcomes": {str(k): v for k, v in result.k_outcomes.items()},
+                "sat_conflicts": result.conflicts,
+                "sat_propagations": result.propagations,
+                "sat_decisions": result.decisions,
+                "sat_restarts": result.restarts,
+                "sat_learned": result.learned,
+            })
         if result.mig is None:
             print(f"no MIG found within budget (outcomes: {result.k_outcomes})")
             return 1
@@ -429,6 +475,24 @@ def main(argv: list[str] | None = None) -> int:
               f"{result.runtime:.2f}s, {result.conflicts} conflicts")
         print(result.mig.to_expression(result.mig.outputs[0]))
         return 0
+
+    if args.command == "db":
+        if args.db_command == "generate":
+            from .database.generate import main as db_generate_main
+
+            forwarded = ["--budget", str(args.budget),
+                         "--sat-seconds", str(args.sat_seconds),
+                         "--jobs", str(args.jobs)]
+            if args.out is not None:
+                forwarded += ["--out", args.out]
+            if args.fresh:
+                forwarded.append("--fresh")
+            if args.largest_first:
+                forwarded.append("--largest-first")
+            if args.quiet:
+                forwarded.append("--quiet")
+            return db_generate_main(forwarded)
+        raise AssertionError("unreachable")
 
     raise AssertionError("unreachable")
 

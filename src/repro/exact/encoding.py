@@ -21,7 +21,13 @@ Constraints: majority semantics (Eq. 4), connection implications
 positive by self-duality, as the paper notes), and the operand-ordering
 symmetry break ``s1 < s2 < s3`` (Eq. 10).  We additionally require every
 non-root gate to be referenced by a later gate, which is sound when
-iterating ``k`` upward from 0 (a minimum MIG has no dead gates).
+iterating ``k`` upward from 0 (a minimum MIG has no dead gates), and
+break the gate-permutation symmetry: when gate ``l + 1`` does not read
+gate ``l`` the two gates could be swapped, so we force their first
+operand selections to be non-decreasing.
+Any topological renumbering of a solution can be bubble-sorted into one
+satisfying every such adjacent-pair constraint, so satisfiability is
+preserved (validated exhaustively on all 3-variable functions).
 
 Row constraints are added *lazily* to support counterexample-guided
 refinement (CEGAR): :meth:`ExactMigEncoding.solve_cegar` starts from a
@@ -35,6 +41,7 @@ soundness is unaffected because constraints are only ever added.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..core.mig import Mig, make_signal, signal_not
 from ..core.truth_table import tt_mask, tt_support
@@ -116,18 +123,35 @@ class ExactMigEncoding:
         self.add_all_rows()
         return self.builder.solve(conflict_budget=conflict_budget, deadline=deadline)
 
+    @property
+    def rows(self) -> list[int]:
+        """The truth-table rows currently constrained, in sorted order."""
+        return sorted(self.output_vars)
+
     def solve_cegar(
-        self, conflict_budget: int | None = None, deadline: float | None = None
+        self,
+        conflict_budget: int | None = None,
+        deadline: float | None = None,
+        seed_rows: Iterable[int] | None = None,
     ) -> bool | None:
         """Solve via counterexample-guided row refinement.
 
         Returns True (a valid MIG can be extracted), False (no MIG with
         this many gates exists), or None on budget exhaustion.
+
+        *seed_rows* constrains additional rows before the first solve.
+        The synthesis driver passes the row set that refuted size
+        ``k - 1`` here: those counterexamples remain valid for size ``k``
+        (row constraints are only ever added), so the refinement loop
+        does not have to re-discover them one SAT call at a time.
         """
         # Seed with the two extreme rows — cheap and usually informative.
         rows = 1 << self.num_vars
         self.add_row(0)
         self.add_row(rows - 1)
+        if seed_rows is not None:
+            for j in seed_rows:
+                self.add_row(j)
         budget = conflict_budget
         while True:
             before = self.builder.solver.conflicts
@@ -216,6 +240,20 @@ def encode_exact_mig(spec: int, num_vars: int, num_gates: int) -> ExactMigEncodi
             for c in range(3):
                 fanout_lits.append(select_vars[l2][c][n + 1 + l])
         builder.add_clause(fanout_lits)
+
+    # Gate-permutation symmetry break: if gate l+1 does not read gate l
+    # (so the two are interchangeable, for l+1 below the root), force
+    # their first operand selections to be non-decreasing.  (Extending
+    # the break to the second operand on ties is sound too, but measured
+    # slower: the extra clauses cost more than the pruning saves.)
+    for l in range(k - 2):
+        reads = [select_vars[l + 1][c][n + 1 + l] for c in range(3)]
+        num_options = n + 1 + l  # gate l's option count
+        for i1 in range(num_options):
+            for i2 in range(i1):
+                builder.add_clause(
+                    [-select_vars[l][0][i1], -select_vars[l + 1][0][i2], *reads]
+                )
 
     # Every variable in the functional support must be selected somewhere
     # (a network that never reads x_i cannot depend on it) — a sound cut

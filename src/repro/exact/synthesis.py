@@ -11,6 +11,21 @@ Because the substrate is a pure-Python CDCL solver rather than Z3, every
 ``(f, k)`` instance runs under an optional conflict budget.  When the
 budget runs out the driver degrades gracefully: if a heuristic upper
 bound is available it is returned flagged ``proven=False``.
+
+Three refinements keep the size loop cheap:
+
+* functions covered by the exhaustive small-MIG witness table
+  (:func:`repro.exact.bounds.optimal_small_migs`) are answered directly —
+  the witness is rebuilt and returned proven without any SAT call,
+  recorded as ``"table"`` in ``k_outcomes``;
+* otherwise the loop starts at
+  :func:`repro.exact.bounds.mig_size_lower_bound` instead of ``k = 1``;
+  sizes below the bound are recorded as ``"skipped"`` in ``k_outcomes``
+  without any SAT call, and
+* the CEGAR counterexample rows that refuted size ``k`` seed the size
+  ``k + 1`` encoding (``carry_rows``), which is sound because row
+  constraints only restrict the model further — a refutation over a row
+  subset is a refutation for the full specification.
 """
 
 from __future__ import annotations
@@ -21,6 +36,7 @@ from dataclasses import dataclass, field
 from ..core.mig import Mig, make_signal, signal_not
 from ..core.truth_table import tt_mask, tt_var
 from ..runtime.budget import Budget
+from .bounds import mig_size_lower_bound, optimal_mig_from_table
 from .encoding import encode_exact_mig
 
 __all__ = ["SynthesisResult", "ExactSynthesizer", "synthesize_exact"]
@@ -42,8 +58,16 @@ class SynthesisResult:
     proven: bool
     runtime: float
     conflicts: int
-    #: per-k outcome: "sat", "unsat", or "unknown" (budget exhausted)
+    #: per-k outcome: "sat", "unsat", "skipped" (below the lower bound,
+    #: no SAT call issued), "table" (answered from the exhaustive
+    #: small-MIG witness table) or "unknown" (budget exhausted)
     k_outcomes: dict[int, str] = field(default_factory=dict)
+    #: solver counters summed over every size tried (schema shared with
+    #: PassMetrics ``sat_*`` keys and ``benchmarks/bench_exact.py``)
+    propagations: int = 0
+    decisions: int = 0
+    restarts: int = 0
+    learned: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -82,6 +106,8 @@ class ExactSynthesizer:
         verify: bool = True,
         use_cegar: bool = True,
         budget: Budget | None = None,
+        carry_rows: bool = True,
+        use_lower_bound: bool = True,
     ) -> None:
         self.conflict_budget = conflict_budget
         self.max_gates = max_gates
@@ -89,6 +115,10 @@ class ExactSynthesizer:
         self.use_cegar = use_cegar
         #: shared runtime budget; checked between sizes, charged per call
         self.budget = budget
+        #: seed each size's CEGAR loop with the rows that refuted k - 1
+        self.carry_rows = carry_rows
+        #: start the size loop at mig_size_lower_bound instead of k = 1
+        self.use_lower_bound = use_lower_bound
 
     def synthesize(
         self,
@@ -105,7 +135,15 @@ class ExactSynthesizer:
         """
         start = time.perf_counter()
         total_conflicts = 0
+        counters = {"propagations": 0, "decisions": 0, "restarts": 0, "learned": 0}
         k_outcomes: dict[int, str] = {}
+
+        def result(mig, size, proven):
+            return SynthesisResult(
+                spec, num_vars, mig, size, proven,
+                time.perf_counter() - start, total_conflicts, k_outcomes,
+                **counters,
+            )
 
         limit = self.max_gates
         if upper_bound is not None:
@@ -117,27 +155,47 @@ class ExactSynthesizer:
 
         trivial = _trivial_mig(spec, num_vars)
         if trivial is not None:
-            return SynthesisResult(
-                spec, num_vars, trivial, 0, True, time.perf_counter() - start, 0,
-                {0: "sat"},
-            )
+            k_outcomes[0] = "sat"
+            return result(trivial, 0, True)
         k_outcomes[0] = "unsat"
 
+        start_k = 1
+        if self.use_lower_bound:
+            table_mig = optimal_mig_from_table(spec, num_vars)
+            if table_mig is not None:
+                # Exhaustive enumeration already proves minimality: no
+                # SAT call needed at all.
+                size = table_mig.num_gates
+                for k in range(1, size):
+                    k_outcomes[k] = "skipped"
+                k_outcomes[size] = "table"
+                if self.verify and table_mig.simulate()[0] != spec:
+                    raise RuntimeError(
+                        f"witness table MIG does not match spec 0x{spec:x}"
+                    )
+                if size <= limit:
+                    return result(table_mig, size, True)
+                if upper_bound is not None:
+                    # Proven optimal exactly when the bound meets the
+                    # table size (it can never be below the minimum).
+                    proven = size == upper_bound.num_gates
+                    return result(upper_bound, upper_bound.num_gates, proven)
+                return result(None, None, False)  # minimum beyond max_gates
+            start_k = max(1, mig_size_lower_bound(spec, num_vars))
+            for k in range(1, min(start_k, limit + 1)):
+                k_outcomes[k] = "skipped"
+
         budget = self.budget
-        for k in range(1, limit + 1):
+        carried_rows: list[int] | None = None
+        for k in range(start_k, limit + 1):
             if budget is not None and budget.expired():
                 # Shared budget spent before this size: degrade to the
                 # upper bound (if any) exactly like a per-call timeout.
                 k_outcomes[k] = "unknown"
-                return SynthesisResult(
-                    spec,
-                    num_vars,
+                return result(
                     upper_bound,
                     upper_bound.num_gates if upper_bound is not None else None,
                     False,
-                    time.perf_counter() - start,
-                    total_conflicts,
-                    k_outcomes,
                 )
             call_budget = self.conflict_budget
             deadline = None
@@ -147,12 +205,17 @@ class ExactSynthesizer:
             encoding = encode_exact_mig(spec, num_vars, k)
             if self.use_cegar:
                 answer = encoding.solve_cegar(
-                    conflict_budget=call_budget, deadline=deadline
+                    conflict_budget=call_budget,
+                    deadline=deadline,
+                    seed_rows=carried_rows if self.carry_rows else None,
                 )
             else:
                 answer = encoding.solve(conflict_budget=call_budget, deadline=deadline)
-            call_conflicts = encoding.builder.solver.conflicts
+            solver = encoding.builder.solver
+            call_conflicts = solver.conflicts
             total_conflicts += call_conflicts
+            for name in counters:
+                counters[name] += getattr(solver, name)
             if budget is not None:
                 budget.charge_conflicts(call_conflicts)
             if answer is True:
@@ -162,36 +225,25 @@ class ExactSynthesizer:
                     raise RuntimeError(
                         f"extracted MIG does not match spec 0x{spec:x} at k={k}"
                     )
-                return SynthesisResult(
-                    spec, num_vars, mig, k, True,
-                    time.perf_counter() - start, total_conflicts, k_outcomes,
-                )
+                return result(mig, k, True)
             if answer is False:
                 k_outcomes[k] = "unsat"
+                # The rows that refuted size k remain valid counter-
+                # examples for size k + 1: carry them forward.
+                carried_rows = encoding.rows
                 continue
             # Budget exhausted: fall back to the upper bound if present.
             k_outcomes[k] = "unknown"
-            return SynthesisResult(
-                spec,
-                num_vars,
+            return result(
                 upper_bound,
                 upper_bound.num_gates if upper_bound is not None else None,
                 False,
-                time.perf_counter() - start,
-                total_conflicts,
-                k_outcomes,
             )
 
         if upper_bound is not None:
             # Every size below the upper bound was refuted: it is optimal.
-            return SynthesisResult(
-                spec, num_vars, upper_bound, upper_bound.num_gates, True,
-                time.perf_counter() - start, total_conflicts, k_outcomes,
-            )
-        return SynthesisResult(
-            spec, num_vars, None, None, False,
-            time.perf_counter() - start, total_conflicts, k_outcomes,
-        )
+            return result(upper_bound, upper_bound.num_gates, True)
+        return result(None, None, False)
 
 
 def synthesize_exact(

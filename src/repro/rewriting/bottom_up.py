@@ -24,6 +24,7 @@ merge; and every event is counted in an optional
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from itertools import product
 
@@ -48,13 +49,23 @@ class _Candidate:
 def _insert(
     candidates: list[_Candidate], new: _Candidate, limit: int
 ) -> list[_Candidate]:
-    """Keep the best *limit* candidates, ordered by (size, depth)."""
+    """Keep the best *limit* candidates, ordered by (size, depth).
+
+    The list is always sorted, so one bisected insertion replaces the
+    former sort-on-every-insert; with the tiny per-node candidate limits
+    this loop runs for every (cut, leaf-combination) pair, which made the
+    repeated full sorts a measurable slice of the bottom-up pass.
+    """
     for existing in candidates:
         if existing.signal == new.signal:
             return candidates
-    candidates.append(new)
-    candidates.sort(key=lambda cand: (cand.size, cand.depth))
-    return candidates[:limit]
+    if len(candidates) >= limit:
+        worst = candidates[-1]
+        if (new.size, new.depth) >= (worst.size, worst.depth):
+            return candidates
+    insort(candidates, new, key=lambda cand: (cand.size, cand.depth))
+    del candidates[limit:]
+    return candidates
 
 
 def rewrite_bottom_up(

@@ -93,6 +93,9 @@ class JobSpec:
     db: str | None = None
     #: where the worker writes the optimized network (BLIF), if anywhere
     output: str | None = None
+    #: mode-specific extra data (JSON-serializable dict); used by modes
+    #: that do not operate on a network, e.g. "db-improve"
+    payload: dict | None = None
 
     def to_dict(self) -> dict:
         data = {
@@ -109,11 +112,13 @@ class JobSpec:
             "mem_limit_mb": self.mem_limit_mb,
             "db": self.db,
             "output": self.output,
+            "payload": self.payload,
         }
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobSpec":
+        payload = data.get("payload")
         return cls(
             job_id=str(data["job_id"]),
             network=dict(data["network"]),
@@ -128,6 +133,7 @@ class JobSpec:
             mem_limit_mb=_opt_int(data.get("mem_limit_mb")),
             db=_opt_str(data.get("db")),
             output=_opt_str(data.get("output")),
+            payload=dict(payload) if payload is not None else None,
         )
 
 

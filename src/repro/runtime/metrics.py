@@ -72,6 +72,13 @@ class PassMetrics:
     cut_functions_computed: int = 0
     #: cut truth tables answered by the per-pass (node, leaves) memo
     cut_function_cache_hits: int = 0
+    #: SAT solver counters accumulated from exact-synthesis calls; the
+    #: ``sat_*`` keys match SynthesisResult and benchmarks/bench_exact.py
+    sat_conflicts: int = 0
+    sat_propagations: int = 0
+    sat_decisions: int = 0
+    sat_restarts: int = 0
+    sat_learned: int = 0
     #: wall-clock seconds per phase ("enumerate", "rewrite", "cleanup", ...)
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -80,6 +87,14 @@ class PassMetrics:
     def reject(self, reason: str) -> None:
         """Count one rejected cut under *reason*."""
         self.cuts_rejected[reason] = self.cuts_rejected.get(reason, 0) + 1
+
+    def record_sat(self, result) -> None:
+        """Accumulate the solver counters of one SynthesisResult."""
+        self.sat_conflicts += result.conflicts
+        self.sat_propagations += result.propagations
+        self.sat_decisions += result.decisions
+        self.sat_restarts += result.restarts
+        self.sat_learned += result.learned
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -104,6 +119,11 @@ class PassMetrics:
         self.npn_cache_misses += other.npn_cache_misses
         self.cut_functions_computed += other.cut_functions_computed
         self.cut_function_cache_hits += other.cut_function_cache_hits
+        self.sat_conflicts += other.sat_conflicts
+        self.sat_propagations += other.sat_propagations
+        self.sat_decisions += other.sat_decisions
+        self.sat_restarts += other.sat_restarts
+        self.sat_learned += other.sat_learned
         for reason, count in other.cuts_rejected.items():
             self.cuts_rejected[reason] = self.cuts_rejected.get(reason, 0) + count
         for name, seconds in other.phase_seconds.items():
@@ -161,6 +181,11 @@ class PassMetrics:
             "cut_functions_computed": self.cut_functions_computed,
             "cut_function_cache_hits": self.cut_function_cache_hits,
             "cut_function_hit_rate": round(self.cut_function_hit_rate, 4),
+            "sat_conflicts": self.sat_conflicts,
+            "sat_propagations": self.sat_propagations,
+            "sat_decisions": self.sat_decisions,
+            "sat_restarts": self.sat_restarts,
+            "sat_learned": self.sat_learned,
             "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
         }
 
@@ -180,6 +205,11 @@ class PassMetrics:
             "npn_cache_misses",
             "cut_functions_computed",
             "cut_function_cache_hits",
+            "sat_conflicts",
+            "sat_propagations",
+            "sat_decisions",
+            "sat_restarts",
+            "sat_learned",
         ):
             setattr(metrics, name, int(data.get(name, 0)))
         metrics.cuts_rejected = {

@@ -108,6 +108,55 @@ def _load_network(network: dict):
     raise ValueError(f"job network spec {network!r} names no circuit source")
 
 
+def _run_db_improve_job(spec: JobSpec, start: float) -> dict:
+    """One NPN class of SAT-phase database improvement (``db-improve``).
+
+    The payload carries the class representative and the current entry
+    (JSONL line); the result carries the improved entry the same way.
+    The heavy lifting is :func:`repro.database.generate.improve_class` —
+    the exact function the serial path runs, so the database content is
+    identical whether or not it was produced under supervision.
+    """
+    from ..database.generate import improve_class
+    from ..database.npn_db import entry_from_json, entry_to_json
+
+    payload = spec.payload or {}
+    try:
+        rep = int(payload["rep"])
+        num_vars = int(payload["num_vars"])
+        entry = entry_from_json(payload["entry"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed db-improve payload: {exc}") from exc
+    # The SAT budget rides in spec.conflict_limit so the supervisor's
+    # retry-with-degradation ladder can actually degrade it; the payload
+    # copy is only a fallback for hand-built specs.
+    budget = spec.conflict_limit
+    if budget is None and payload.get("budget") is not None:
+        budget = int(payload["budget"])
+
+    deadline = None
+    if spec.time_limit is not None:
+        # Leave the watchdog's grace window to write the result artifact.
+        deadline = time.monotonic() + max(0.5, spec.time_limit - 0.5)
+
+    new_entry, conflicts = improve_class(rep, entry, num_vars, budget, deadline)
+    if new_entry.to_mig().simulate()[0] != rep:
+        raise AssertionError(f"db-improve produced wrong function for 0x{rep:x}")
+    return {
+        "job_id": spec.job_id,
+        "status": "ok",
+        "rep": rep,
+        "entry": entry_to_json(new_entry),
+        "size_before": entry.size,
+        "size_after": new_entry.size,
+        "proven": new_entry.proven,
+        "conflicts": conflicts,
+        "runtime": round(time.perf_counter() - start, 6),
+        "rusage": _rusage_dict(),
+        "pid": os.getpid(),
+    }
+
+
 def run_job(spec: JobSpec) -> dict:
     """Execute one job in-process and return the result payload.
 
@@ -119,6 +168,10 @@ def run_job(spec: JobSpec) -> dict:
     from ..opt.flow import optimize_until_convergence, run_flow
 
     start = time.perf_counter()
+
+    if spec.mode == "db-improve":
+        return _run_db_improve_job(spec, start)
+
     mig = _load_network(spec.network)
 
     needs_db = spec.mode == "converge" or any(
@@ -172,7 +225,9 @@ def run_job(spec: JobSpec) -> dict:
                 metrics.merge(stats.metrics)
             steps_payload.append(entry)
     else:
-        raise ValueError(f"unknown job mode {spec.mode!r}; use 'flow' or 'converge'")
+        raise ValueError(
+            f"unknown job mode {spec.mode!r}; use 'flow', 'converge' or 'db-improve'"
+        )
 
     if spec.output is not None:
         import io as io_module

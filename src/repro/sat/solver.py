@@ -7,13 +7,22 @@ since the formulation is finite-domain, we bit-blast it to CNF
 
 The solver implements the standard modern architecture:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation with *blocking literals* (each
+  watcher caches one other literal of its clause; when the cached
+  literal is already true the clause is skipped without dereferencing
+  it — most watcher visits on industrial-style instances end here),
 * first-UIP conflict analysis with recursive clause minimization,
 * VSIDS variable activities with phase saving,
 * Luby-sequence restarts,
 * activity-based learned-clause database reduction,
 * solving under assumptions, and
 * conflict budgets for anytime use (returns ``None`` when exhausted).
+
+Search statistics are exposed as plain counters: ``conflicts``,
+``decisions``, ``propagations``, ``restarts`` and ``learned`` (total
+clauses ever learned), consumed by
+:class:`repro.exact.synthesis.SynthesisResult` and
+``benchmarks/bench_exact.py``.
 
 Variables are positive integers; literals follow the DIMACS convention
 (``v`` positive literal, ``-v`` negative literal).
@@ -69,7 +78,16 @@ class Solver:
     def __init__(self) -> None:
         self.num_vars = 0
         # Literal index: positive literal v -> 2v, negative -> 2v+1.
-        self._watches: list[list[list[int]]] = [[], []]
+        # Each watcher is a (blocker, clause) pair: the blocker is some
+        # other literal of the clause; when it is already true the
+        # watcher is skipped without touching the clause at all.
+        self._watches: list[list[tuple[int, list[int]]]] = [[], []]
+        # Binary clauses get their own watch lists: the blocker *is* the
+        # whole rest of the clause, so a visit never searches for a new
+        # watch, never moves, and the list is never rebuilt.  The
+        # pairwise at-most-one constraints of the exact-synthesis
+        # encoding make these the majority of all clauses.
+        self._bin_watches: list[list[tuple[int, list[int]]]] = [[], []]
         self._assigns: list[int] = [0]
         self._level: list[int] = [0]
         self._reason: list[list[int] | None] = [None]
@@ -89,6 +107,10 @@ class Solver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        #: total learned clauses over the solver's lifetime (reduce_db
+        #: removals do not decrement; this counts analysis products)
+        self.learned = 0
         self.model: list[int] = []
         self._assumption_levels: list[int] = []
 
@@ -101,6 +123,8 @@ class Solver:
         self.num_vars += 1
         self._watches.append([])
         self._watches.append([])
+        self._bin_watches.append([])
+        self._bin_watches.append([])
         self._assigns.append(_UNDEF)
         self._level.append(0)
         self._reason.append(None)
@@ -162,8 +186,10 @@ class Solver:
         return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
 
     def _attach(self, clause: list[int]) -> None:
-        self._watches[self._lit_index(-clause[0])].append(clause)
-        self._watches[self._lit_index(-clause[1])].append(clause)
+        # The co-watched literal doubles as the blocking literal.
+        watches = self._bin_watches if len(clause) == 2 else self._watches
+        watches[self._lit_index(-clause[0])].append((clause[1], clause))
+        watches[self._lit_index(-clause[1])].append((clause[0], clause))
 
     def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
         value = self._lit_value(lit)
@@ -201,53 +227,121 @@ class Solver:
     # ------------------------------------------------------------------
 
     def propagate(self) -> list[int] | None:
-        """Unit propagation; returns the conflicting clause or None."""
+        """Unit propagation; returns the conflicting clause or None.
+
+        This is the solver's inner loop (≥ 80 % of solve time on the
+        exact-synthesis workload), hence the deliberate style: every
+        attribute is hoisted into a local, literal values are computed
+        inline instead of via ``_lit_value``, and the blocking literal
+        lets most watcher visits finish without touching the clause.
+        """
         watches = self._watches
+        bin_watches = self._bin_watches
         assigns = self._assigns
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
-            self.propagations += 1
-            idx = self._lit_index(lit)
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        trail = self._trail
+        trail_lim = self._trail_lim
+        qhead = self._qhead
+        propagations = 0
+        conflict: list[int] | None = None
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            propagations += 1
+            idx = (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+            # Binary clauses first: the blocker is the entire rest of the
+            # clause, so each visit is one value lookup and a branch.
+            for watcher in bin_watches[idx]:
+                other = watcher[0]
+                ov = assigns[other] if other > 0 else -assigns[-other]
+                if ov == 1:  # _TRUE
+                    continue
+                clause = watcher[1]
+                if ov == -1:  # _FALSE: both literals false
+                    conflict = clause
+                    break
+                # Unit: imply the co-literal.  Conflict analysis expects
+                # the implied literal at reason[0], so normalize.
+                if clause[0] != other:
+                    clause[0] = other
+                    clause[1] = -lit
+                var = other if other > 0 else -other
+                assigns[var] = 1 if other > 0 else -1
+                level[var] = len(trail_lim)
+                reason[var] = clause
+                phase[var] = other > 0
+                trail.append(other)
+            if conflict is not None:
+                break
             watch_list = watches[idx]
-            kept: list[list[int]] = []
+            # Compact the list in place: `keep` is the write cursor, so
+            # surviving watchers shift down and no scratch list is built.
             i = 0
+            keep = 0
             n = len(watch_list)
-            conflict: list[int] | None = None
             while i < n:
-                clause = watch_list[i]
+                watcher = watch_list[i]
                 i += 1
+                blocker = watcher[0]
+                bv = assigns[blocker] if blocker > 0 else -assigns[-blocker]
+                if bv == 1:  # _TRUE: clause satisfied, skip untouched
+                    watch_list[keep] = watcher
+                    keep += 1
+                    continue
+                clause = watcher[1]
                 # Ensure the falsified literal is at position 1.
                 if clause[0] == -lit:
-                    clause[0], clause[1] = clause[1], clause[0]
+                    clause[0] = clause[1]
+                    clause[1] = -lit
                 first = clause[0]
-                v0 = assigns[first] if first > 0 else -assigns[-first]
-                if v0 == _TRUE:
-                    kept.append(clause)
-                    continue
+                if first == blocker:
+                    v0 = bv
+                else:
+                    v0 = assigns[first] if first > 0 else -assigns[-first]
+                    if v0 == 1:
+                        # Refresh the blocker to the satisfied literal.
+                        watch_list[keep] = (first, clause)
+                        keep += 1
+                        continue
                 # Look for a new literal to watch.
                 found = False
                 for j in range(2, len(clause)):
                     lj = clause[j]
-                    vj = assigns[lj] if lj > 0 else -assigns[-lj]
-                    if vj != _FALSE:
-                        clause[1], clause[j] = clause[j], clause[1]
-                        watches[self._lit_index(-clause[1])].append(clause)
+                    if (assigns[lj] if lj > 0 else -assigns[-lj]) != -1:
+                        clause[1] = lj
+                        clause[j] = -lit
+                        widx = ((-lj) << 1) if lj < 0 else ((lj << 1) | 1)
+                        watches[widx].append((first, clause))
                         found = True
                         break
                 if found:
                     continue
-                kept.append(clause)
+                watch_list[keep] = (first, clause)
+                keep += 1
                 # Clause is unit or conflicting.
-                if v0 == _FALSE:
+                if v0 == -1:  # _FALSE
                     conflict = clause
-                    kept.extend(watch_list[i:])
+                    while i < n:  # keep the unvisited tail
+                        watch_list[keep] = watch_list[i]
+                        keep += 1
+                        i += 1
                     break
-                self._enqueue(first, clause)
-            watches[idx] = kept
+                # Inline _enqueue for the (always-unassigned) unit case.
+                var = first if first > 0 else -first
+                assigns[var] = 1 if first > 0 else -1
+                level[var] = len(trail_lim)
+                reason[var] = clause
+                phase[var] = first > 0
+                trail.append(first)
+            if keep != n:
+                del watch_list[keep:]
             if conflict is not None:
-                return conflict
-        return None
+                break
+        self._qhead = qhead
+        self.propagations += propagations
+        return conflict
 
     # ------------------------------------------------------------------
     # conflict analysis
@@ -397,7 +491,9 @@ class Solver:
             return
         self._learnts = [c for c in self._learnts if id(c) not in removed]
         for idx in range(len(self._watches)):
-            self._watches[idx] = [c for c in self._watches[idx] if id(c) not in removed]
+            self._watches[idx] = [
+                w for w in self._watches[idx] if id(w[1]) not in removed
+            ]
         for key in removed:
             self._cla_activity.pop(key, None)
 
@@ -435,6 +531,8 @@ class Solver:
 
         while True:
             limit = 100 * _luby(restart_count)
+            if restart_count:
+                self.restarts += 1
             restart_count += 1
             conflicts_here = 0
             self._cancel_until(0)
@@ -469,6 +567,7 @@ class Solver:
                         self._cancel_until(0)
                         return UNSAT
                     learnt, back_level = self._analyze(conflict)
+                    self.learned += 1
                     back_level = max(back_level, len(self._assumption_levels))
                     self._cancel_until(back_level)
                     if len(learnt) == 1:

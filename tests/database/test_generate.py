@@ -7,11 +7,16 @@ import signal
 import subprocess
 import sys
 import time
+from dataclasses import replace
 
 import pytest
 
 from repro.core.npn import enumerate_npn_classes
-from repro.database.generate import generate_tree_database, improve_with_sat
+from repro.database.generate import (
+    generate_tree_database,
+    improve_with_sat,
+    improve_with_sat_parallel,
+)
 from repro.database.npn_db import NpnDatabase
 
 
@@ -154,6 +159,174 @@ class TestCrashSafeGeneration:
         db = generate_tree_database(4, out_path=out, resume=partial)
         assert len(db) == 222
         NpnDatabase.load(out, num_vars=4).verify()
+
+
+def _normalized_lines(db: NpnDatabase, path) -> str:
+    """Serialize *db* with wall-clock fields zeroed, return file bytes.
+
+    ``generation_time`` is the one field that legitimately differs
+    between a serial and a parallel run (it is measured wall time);
+    everything else — gates, sizes, proven flags, conflicts — must be
+    byte-identical because both paths run the same deterministic
+    ``improve_class``.
+    """
+    from repro.database.npn_db import NpnDatabase as Db
+
+    stripped = Db(
+        [replace(e, generation_time=0.0) for e in db.entries.values()],
+        db.num_vars,
+    )
+    stripped.save(path)
+    return path.read_text()
+
+
+class TestDbImproveWorkerJob:
+    """The ``db-improve`` job mode, run in-process via `run_job`."""
+
+    def _spec(self, tree_db3, rep, **overrides):
+        from repro.database.npn_db import entry_to_json
+        from repro.runtime.jobs import JobSpec
+
+        fields = dict(
+            job_id=f"db-0x{rep:04x}",
+            network={},
+            mode="db-improve",
+            verify="sim",
+            conflict_limit=300000,
+            payload={
+                "rep": rep,
+                "num_vars": 3,
+                "budget": 300000,
+                "entry": entry_to_json(tree_db3.entries[rep]),
+            },
+        )
+        fields.update(overrides)
+        return JobSpec(**fields)
+
+    def test_improves_and_returns_entry(self, tree_db3):
+        from repro.database.npn_db import entry_from_json
+        from repro.runtime.worker import run_job
+
+        rep = max(tree_db3.entries, key=lambda r: tree_db3.entries[r].size)
+        result = run_job(self._spec(tree_db3, rep))
+        assert result["status"] == "ok" and result["rep"] == rep
+        new_entry = entry_from_json(result["entry"])
+        assert new_entry.to_mig().simulate()[0] == rep
+        assert new_entry.proven
+        assert result["size_after"] <= result["size_before"]
+
+    def test_budget_comes_from_conflict_limit(self, tree_db3):
+        """The degradation ladder shrinks conflict_limit; it must bind."""
+        from repro.database.npn_db import entry_from_json
+        from repro.runtime.worker import run_job
+
+        rep = max(tree_db3.entries, key=lambda r: tree_db3.entries[r].size)
+        result = run_job(self._spec(tree_db3, rep, conflict_limit=1))
+        assert entry_from_json(result["entry"]).conflicts <= 2
+
+    def test_malformed_payload_rejected(self, tree_db3):
+        from repro.runtime.worker import run_job
+
+        rep = next(iter(tree_db3.entries))
+        spec = self._spec(tree_db3, rep, payload={"rep": rep})
+        with pytest.raises(ValueError, match="malformed db-improve payload"):
+            run_job(spec)
+
+
+class TestParallelSatPhase:
+    """`improve_with_sat_parallel` must be a drop-in for the serial loop."""
+
+    BUDGET = 300000
+
+    def test_parallel_output_is_byte_identical_to_serial(self, tree_db3, tmp_path):
+        serial_db = NpnDatabase(list(tree_db3.entries.values()), 3)
+        improve_with_sat(serial_db, budget=self.BUDGET)
+
+        par_db = NpnDatabase(list(tree_db3.entries.values()), 3)
+        out = tmp_path / "npn3-par.jsonl"
+        stats = improve_with_sat_parallel(
+            par_db,
+            budget=self.BUDGET,
+            out_path=out,
+            jobs=2,
+            workdir=tmp_path / "jobs",
+        )
+        assert stats["failed_jobs"] == 0
+        assert stats["visited"] == sum(
+            1 for e in tree_db3.entries.values() if not e.proven
+        )
+        par_db.verify()
+        assert _normalized_lines(serial_db, tmp_path / "ser-norm.jsonl") == (
+            _normalized_lines(par_db, tmp_path / "par-norm.jsonl")
+        )
+
+    def test_sigkilled_parallel_run_resumes_without_redoing_done_jobs(self, tmp_path):
+        """Kill `db generate --jobs` mid-SAT-phase; resume adopts done classes."""
+        out = tmp_path / "npn3.jsonl"
+        workdir = tmp_path / "jobs"
+        driver = tmp_path / "driver.py"
+        driver.write_text(
+            "import sys\n"
+            "from repro.database.generate import (\n"
+            "    generate_tree_database, improve_with_sat_parallel)\n"
+            "db = generate_tree_database(num_vars=3)\n"
+            "improve_with_sat_parallel(db, budget=%d, out_path=sys.argv[1],\n"
+            "                          jobs=1, workdir=sys.argv[2])\n" % self.BUDGET
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        results = workdir / "results"
+        journal = workdir / "journal.jsonl"
+
+        def _done_jobs() -> list[str]:
+            from repro.runtime.jobs import JobJournal
+
+            if not journal.exists():
+                return []
+            replay = JobJournal.replay(journal)
+            return [record.spec.job_id for record in replay.by_state("done")]
+
+        proc = subprocess.Popen(
+            [sys.executable, str(driver), str(out), str(workdir)],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait until the journal records at least two completed class
+            # jobs, then SIGKILL the supervisor mid-run.
+            deadline = time.time() + 120
+            while time.time() < deadline and proc.poll() is None:
+                if len(_done_jobs()) >= 2:
+                    break
+                time.sleep(0.05)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+        assert journal.exists()
+        # Artifacts of journal-done jobs must survive the resumed batch
+        # untouched (recovery re-journals them, it never re-runs them).
+        done_before = {
+            job_id: (results / f"{job_id}.json").stat().st_mtime_ns
+            for job_id in _done_jobs()
+        }
+        assert done_before, "no class job completed before the kill"
+
+        # Resume with the same workdir: completed jobs are adopted from
+        # their artifacts, the rest run, and the result matches serial.
+        par_db = generate_tree_database(num_vars=3)
+        stats = improve_with_sat_parallel(
+            par_db, budget=self.BUDGET, out_path=out, jobs=2, workdir=workdir
+        )
+        assert stats["failed_jobs"] == 0
+        par_db.verify()
+        assert all(e.proven for e in par_db.entries.values())
+        assert par_db.size_histogram() == {0: 2, 1: 2, 2: 2, 3: 4, 4: 4}
+        # Adopted artifacts were not rewritten by the resumed batch.
+        for job_id, mtime in done_before.items():
+            assert (results / f"{job_id}.json").stat().st_mtime_ns == mtime, job_id
 
 
 class TestShippedDatabaseProvenance:

@@ -1,4 +1,4 @@
-"""Tests for the Theorem 2 size bound."""
+"""Tests for the Theorem 2 size bound and the synthesis lower bounds."""
 
 from __future__ import annotations
 
@@ -7,7 +7,15 @@ import random
 import pytest
 
 from repro.core.truth_table import tt_mask, tt_var
-from repro.exact.bounds import shannon_upper_bound_mig, theorem2_bound
+from repro.exact.bounds import (
+    mig_size_lower_bound,
+    optimal_mig_from_table,
+    optimal_small_migs,
+    shannon_upper_bound_mig,
+    theorem2_bound,
+    two_gate_functions,
+)
+from repro.exact.synthesis import ExactSynthesizer
 
 
 class TestBoundFormula:
@@ -67,3 +75,107 @@ class TestShannonConstruction:
     def test_out_of_range_spec(self, db):
         with pytest.raises(ValueError):
             shannon_upper_bound_mig(1 << 32, 5, db)
+
+
+def _sat_only(conflict_budget=500_000, **kw):
+    """An independent oracle: per-size SAT with every fast path off."""
+    return ExactSynthesizer(
+        use_lower_bound=False, carry_rows=False,
+        conflict_budget=conflict_budget, **kw,
+    )
+
+
+class TestSmallMigTable:
+    def test_every_three_var_witness_is_correct(self):
+        """Exhaustive: all 3-var witnesses simulate to their key."""
+        table = optimal_small_migs(3)
+        assert len(table) == 152  # 256 functions - 8 trivial - 96 of size 4
+        for spec, witness in table.items():
+            mig = optimal_mig_from_table(spec, 3)
+            assert mig.simulate()[0] == spec
+            assert mig.num_gates == len(witness)
+
+    def test_three_var_sizes_match_sat(self):
+        """Table sizes agree with SAT-only synthesis on every 3-var class.
+
+        Combined with the NPN closure of minimum size this covers all 256
+        functions; the exhaustive non-class check ran during development.
+        """
+        from repro.core.npn import enumerate_npn_classes
+
+        table = optimal_small_migs(3)
+        for rep in enumerate_npn_classes(3):
+            result = _sat_only().synthesize(rep, 3)
+            assert result.proven
+            if result.size == 0:
+                assert rep not in table
+            elif result.size <= 3:
+                assert len(table[rep]) == result.size, hex(rep)
+            else:
+                assert rep not in table, hex(rep)
+
+    def test_four_var_witnesses_simulate(self):
+        table = optimal_small_migs(4)
+        for spec in sorted(table)[::37]:  # deterministic sample
+            mig = optimal_mig_from_table(spec, 4)
+            assert mig.simulate()[0] == spec
+            assert mig.num_gates == len(table[spec])
+
+    def test_four_var_out_of_table_is_unsat_below_four(self):
+        """Sizes 1-3 are refuted by SAT for specs the table excludes."""
+        rng = random.Random(11)
+        table = optimal_small_migs(4)
+        mask = tt_mask(4)
+        trivial = {0, mask}
+        for i in range(4):
+            trivial |= {tt_var(4, i), tt_var(4, i) ^ mask}
+        picked = 0
+        while picked < 3:
+            spec = rng.getrandbits(16)
+            if spec in table or spec in trivial:
+                continue
+            picked += 1
+            result = _sat_only(max_gates=3).synthesize(spec, 4)
+            assert result.mig is None
+            assert all(
+                v == "unsat" for k, v in result.k_outcomes.items() if k >= 1
+            ), (hex(spec), result.k_outcomes)
+
+    def test_trivial_functions_materialize(self):
+        mask = tt_mask(4)
+        for spec in (0, mask, tt_var(4, 2), tt_var(4, 2) ^ mask):
+            mig = optimal_mig_from_table(spec, 4)
+            assert mig is not None and mig.num_gates == 0
+            assert mig.simulate()[0] == spec
+
+    def test_out_of_range_spec(self):
+        with pytest.raises(ValueError):
+            optimal_mig_from_table(1 << 16, 4)
+
+
+class TestLowerBound:
+    def test_exact_for_table_sizes(self):
+        # XOR2 embedded in 3 vars: size 3; MAJ: size 1; AND: size 1.
+        assert mig_size_lower_bound(tt_var(3, 0) ^ tt_var(3, 1), 3) == 3
+        assert mig_size_lower_bound(tt_var(3, 0) & tt_var(3, 1), 3) == 1
+        assert mig_size_lower_bound(0, 3) == 0
+        assert mig_size_lower_bound(tt_mask(4), 4) == 0
+
+    def test_four_past_table_on_four_vars(self):
+        # 0x1668 is outside the <=3-gate table: the bound starts SAT at 4.
+        assert mig_size_lower_bound(0x1668, 4) == 4
+
+    def test_support_bound(self):
+        # A function reading all 8 variables needs >= ceil(7/2) = 3 gates
+        # even before any membership test (k gates read <= 2k+1 inputs).
+        spec = 0
+        for i in range(8):
+            spec ^= tt_var(8, i)
+        assert mig_size_lower_bound(spec, 8) >= 3
+
+    def test_two_gate_set_matches_table(self):
+        table = optimal_small_migs(3)
+        two = two_gate_functions(3)
+        for spec in two:
+            witness = table.get(spec)
+            assert witness is None or len(witness) <= 2

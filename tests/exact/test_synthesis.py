@@ -100,6 +100,17 @@ class TestUpperBounds:
 
     def test_k_outcomes_recorded(self):
         result = synthesize_exact(tt_var(2, 0) ^ tt_var(2, 1), 2)
+        # XOR needs 3 gates; the exhaustive witness table answers it
+        # (and skips the smaller sizes) without any SAT call.
+        assert result.k_outcomes[1] == "skipped"
+        assert result.k_outcomes[2] == "skipped"
+        assert result.k_outcomes[3] == "table"
+        assert result.proven
+        assert result.conflicts == 0
+
+    def test_k_outcomes_unsat_without_lower_bound(self):
+        synthesizer = ExactSynthesizer(use_lower_bound=False)
+        result = synthesizer.synthesize(tt_var(2, 0) ^ tt_var(2, 1), 2)
         assert result.k_outcomes[1] == "unsat"
         assert result.k_outcomes[2] == "unsat"
         assert result.k_outcomes[3] == "sat"
