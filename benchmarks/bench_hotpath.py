@@ -32,7 +32,10 @@ import sys
 import time
 from pathlib import Path
 
+import random
+
 from repro.core import npn
+from repro.core.simengine import simulate_network
 from repro.database import NpnDatabase
 from repro.generators.epfl import adder, log2, multiplier, sine, square_root
 from repro.rewriting.engine import functional_hashing
@@ -56,6 +59,75 @@ CASES = {
 
 #: the subset used by the CI smoke job
 QUICK_CASES = ("adder32", "multiplier8", "square_root10", "sine8")
+
+#: simulation microbench instances — all at least ~1k gates, spanning
+#: shallow/wide (multiplier) to deep/narrow (square root) level shapes
+SIM_CASES = {
+    "multiplier20": lambda: multiplier(20),
+    "sine12": lambda: sine(12),
+    "log2_10": lambda: log2(10),
+    "square_root24": lambda: square_root(24),
+}
+
+QUICK_SIM_CASES = ("multiplier20", "sine12")
+
+#: fraig-style random-vector protocol: this many 64-bit rounds per case
+SIM_ROUNDS = 16
+SIM_WIDTH = 64
+
+
+def run_sim_case(factory, repeat: int) -> dict:
+    """Time fraig-style random-vector simulation: seed loop vs the engine.
+
+    The *seed* path is what the pre-kernel tree did for signatures and
+    randomized equivalence: one big-int sweep over the network per
+    64-bit round (``backend="bigint"`` is that historical loop,
+    bit-for-bit — see tests/core/test_simengine.py).  The *engine* path
+    batches all rounds into a single wide word per PI and runs the
+    numpy backend once, level by level.  Same vectors, same results
+    (asserted); the speedup is the simulation-engine headline number.
+    """
+    net = factory()
+    rng = random.Random(0xC0FFEE)
+    rounds = [
+        [rng.getrandbits(SIM_WIDTH) for _ in range(net.num_pis)]
+        for _ in range(SIM_ROUNDS)
+    ]
+    combined = [
+        sum(rounds[r][i] << (SIM_WIDTH * r) for r in range(SIM_ROUNDS))
+        for i in range(net.num_pis)
+    ]
+    mask = (1 << SIM_WIDTH) - 1
+    best_seed = best_engine = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        seed_out = [
+            simulate_network(net, words, SIM_WIDTH, backend="bigint")
+            for words in rounds
+        ]
+        seconds = time.perf_counter() - start
+        best_seed = seconds if best_seed is None else min(best_seed, seconds)
+
+        start = time.perf_counter()
+        engine_out = simulate_network(
+            net, combined, SIM_WIDTH * SIM_ROUNDS, backend="numpy"
+        )
+        seconds = time.perf_counter() - start
+        best_engine = (
+            seconds if best_engine is None else min(best_engine, seconds)
+        )
+    for r in range(SIM_ROUNDS):
+        got = [(w >> (SIM_WIDTH * r)) & mask for w in engine_out]
+        assert got == seed_out[r], f"backend mismatch in round {r}"
+    return {
+        "gates": net.num_gates,
+        "levels": len(net.arrays().sim_levels),
+        "rounds": SIM_ROUNDS,
+        "width": SIM_WIDTH,
+        "seed_seconds": round(best_seed, 5),
+        "engine_seconds": round(best_engine, 5),
+        "speedup_vs_seed": round(best_seed / best_engine, 2),
+    }
 
 
 def run_case(db: NpnDatabase, factory, variant: str, repeat: int) -> dict:
@@ -111,6 +183,9 @@ def main(argv: list[str] | None = None) -> int:
                         "--max-regression vs the checked-in baseline")
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="allowed slowdown factor in --check mode")
+    parser.add_argument("--min-sim-speedup", type=float, default=None,
+                        help="in --check mode, fail when the simulation "
+                        "microbench geomean falls below this factor")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("-o", "--output", type=Path,
                         default=RESULTS_DIR / "BENCH_hotpath.json")
@@ -153,6 +228,30 @@ def main(argv: list[str] | None = None) -> int:
         geomean = round(product ** (1.0 / len(speedups)), 2)
         print(f"geomean speedup vs baseline: {geomean}x")
 
+    sim_names = QUICK_SIM_CASES if args.quick else tuple(SIM_CASES)
+    sim_cases: dict[str, dict] = {}
+    sim_speedups: list[float] = []
+    for name in sim_names:
+        entry = run_sim_case(SIM_CASES[name], args.repeat)
+        sim_cases[name] = entry
+        sim_speedups.append(entry["speedup_vs_seed"])
+        print(f"sim {name:16} {entry['gates']:>5} gates  "
+              f"seed {entry['seed_seconds']:.4f}s -> engine "
+              f"{entry['engine_seconds']:.4f}s  "
+              f"({entry['speedup_vs_seed']}x)")
+    sim_geomean = None
+    if sim_speedups:
+        product = 1.0
+        for s in sim_speedups:
+            product *= s
+        sim_geomean = round(product ** (1.0 / len(sim_speedups)), 2)
+        print(f"geomean simulation speedup vs seed big-int loop: {sim_geomean}x")
+        if args.min_sim_speedup and sim_geomean < args.min_sim_speedup:
+            regressions.append(
+                f"simulation geomean {sim_geomean}x below the "
+                f"--min-sim-speedup floor {args.min_sim_speedup}x"
+            )
+
     payload = {
         "schema": "bench-hotpath/1",
         "label": "current tree",
@@ -162,6 +261,8 @@ def main(argv: list[str] | None = None) -> int:
         "repeat": args.repeat,
         "geomean_speedup_vs_baseline": geomean,
         "cases": cases,
+        "sim_geomean_speedup_vs_seed": sim_geomean,
+        "sim_cases": sim_cases,
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     with open(args.output, "w", encoding="utf-8") as fp:

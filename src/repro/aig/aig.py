@@ -1,56 +1,32 @@
 """And-Inverter Graphs — the comparison representation (Sec. I, refs [2], [6]).
 
 The paper positions MIGs against AIGs, the dominant homogeneous logic
-representation.  This substrate provides an AIG with the same signal
-conventions as :class:`repro.core.mig.Mig` (signal = ``2*node + inv``),
-structural hashing and the unit rules ``a&a = a``, ``a&a' = 0``,
-``a&1 = a``, ``a&0 = 0``.
+representation.  Since the kernel refactor this is a thin 2-ary facade
+over the same substrate as :class:`repro.core.mig.Mig` —
+:class:`repro.core.kernel.Network` for storage/traversals/validation and
+:mod:`repro.core.simengine` for bit-parallel simulation — so the AIG
+inherits everything the MIG has (``check``, ``fanout_counts``,
+``cleanup``, ``clone``, ``simulate_patterns``, ``cut_function``, array
+kernels) and contributes only the AND-gate semantics: the same signal
+conventions (signal = ``2*node + inv``), structural hashing and the unit
+rules ``a&a = a``, ``a&a' = 0``, ``a&1 = a``, ``a&0 = 0``.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
-
-from ..core.truth_table import tt_mask, tt_var
+from ..core.kernel import Network
+from ..core.simengine import SimulationMixin
 
 __all__ = ["Aig"]
 
 
-class Aig:
+class Aig(SimulationMixin, Network):
     """An And-Inverter Graph with structural hashing."""
 
-    def __init__(self, num_pis: int = 0, name: str = "aig") -> None:
-        self.name = name
-        self._fanins: list[tuple[int, int] | None] = [None]
-        self._pi_names: list[str] = []
-        self._outputs: list[int] = []
-        self._output_names: list[str] = []
-        self._strash: dict[tuple[int, int], int] = {}
-        for _ in range(num_pis):
-            self.add_pi()
+    ARITY = 2
+    DEFAULT_NAME = "aig"
 
-    @classmethod
-    def like(cls, other: "Aig") -> "Aig":
-        """Empty AIG with the same primary inputs as *other*."""
-        new = cls(name=other.name)
-        for name in other._pi_names:
-            new.add_pi(name)
-        return new
-
-    # -- construction -------------------------------------------------
-
-    def add_pi(self, name: str | None = None) -> int:
-        """Add a primary input; returns its signal."""
-        if self.num_gates:
-            raise ValueError("all primary inputs must precede the first gate")
-        node = len(self._fanins)
-        self._fanins.append(None)
-        self._pi_names.append(name if name is not None else f"x{node - 1}")
-        return node << 1
-
-    def pi_signals(self) -> list[int]:
-        """Signals of all primary inputs."""
-        return [(1 + i) << 1 for i in range(self.num_pis)]
+    # -- gate semantics ------------------------------------------------
 
     def and_(self, a: int, b: int) -> int:
         """Create (or reuse) the AND gate of two signals."""
@@ -58,14 +34,19 @@ class Aig:
             if (s >> 1) >= len(self._fanins):
                 raise ValueError(f"signal {s} refers to an unknown node")
         if a == b:
+            self.unit_rules += 1
             return a
         if a == b ^ 1:
+            self.unit_rules += 1
             return 0
         if a == 0 or b == 0:
+            self.unit_rules += 1
             return 0
         if a == 1:
+            self.unit_rules += 1
             return b
         if b == 1:
+            self.unit_rules += 1
             return a
         key = (a, b) if a < b else (b, a)
         node = self._strash.get(key)
@@ -73,7 +54,12 @@ class Aig:
             node = len(self._fanins)
             self._fanins.append(key)
             self._strash[key] = node
+        else:
+            self.strash_hits += 1
         return node << 1
+
+    def _make_gate(self, fanins: tuple[int, ...]) -> int:
+        return self.and_(*fanins)
 
     def or_(self, a: int, b: int) -> int:
         """Disjunction via De Morgan."""
@@ -87,124 +73,20 @@ class Aig:
         """2:1 multiplexer."""
         return self.or_(self.and_(sel, when_true), self.and_(sel ^ 1, when_false))
 
-    def add_po(self, signal: int, name: str | None = None) -> None:
-        """Register a primary output."""
-        if (signal >> 1) >= len(self._fanins):
-            raise ValueError(f"signal {signal} refers to an unknown node")
-        self._outputs.append(signal)
-        self._output_names.append(name if name is not None else f"y{len(self._outputs) - 1}")
+    # -- structural validation (AIG-specific invariants) ---------------
 
-    # -- structure ---------------------------------------------------------
-
-    @property
-    def num_pis(self) -> int:
-        """Number of primary inputs."""
-        return len(self._pi_names)
-
-    @property
-    def num_pos(self) -> int:
-        """Number of primary outputs."""
-        return len(self._outputs)
-
-    @property
-    def num_gates(self) -> int:
-        """Number of AND gates."""
-        return len(self._fanins) - 1 - self.num_pis
-
-    @property
-    def outputs(self) -> tuple[int, ...]:
-        """Output signals."""
-        return tuple(self._outputs)
-
-    @property
-    def output_names(self) -> tuple[str, ...]:
-        """Output names."""
-        return tuple(self._output_names)
-
-    @property
-    def pi_names(self) -> tuple[str, ...]:
-        """Input names."""
-        return tuple(self._pi_names)
-
-    def is_pi(self, node: int) -> bool:
-        """True for input nodes."""
-        return 1 <= node <= self.num_pis
-
-    def is_gate(self, node: int) -> bool:
-        """True for AND nodes."""
-        return self.num_pis < node < len(self._fanins)
-
-    def fanins(self, node: int) -> tuple[int, int]:
-        """Fanins of an AND node."""
-        fanin = self._fanins[node]
-        if fanin is None:
-            raise ValueError(f"node {node} is a terminal")
-        return fanin
-
-    def gates(self) -> Iterator[int]:
-        """AND nodes in topological order."""
-        return iter(range(self.num_pis + 1, len(self._fanins)))
-
-    def levels(self) -> list[int]:
-        """Per-node level (terminals at 0)."""
-        level = [0] * len(self._fanins)
-        for node in self.gates():
-            a, b = self.fanins(node)
-            level[node] = 1 + max(level[a >> 1], level[b >> 1])
-        return level
-
-    def depth(self) -> int:
-        """Longest path in AND gates."""
-        if not self._outputs:
-            return 0
-        level = self.levels()
-        return max(level[s >> 1] for s in self._outputs)
-
-    # -- evaluation ------------------------------------------------------------
-
-    def simulate(self) -> list[int]:
-        """Exhaustive simulation (up to 16 inputs)."""
-        if self.num_pis > 16:
-            raise ValueError("exhaustive simulation limited to 16 inputs")
-        n = self.num_pis
-        mask = tt_mask(n)
-        values = [0] * len(self._fanins)
-        for i in range(n):
-            values[1 + i] = tt_var(n, i)
-        for node in self.gates():
-            a, b = self.fanins(node)
-            va = values[a >> 1] ^ (mask if a & 1 else 0)
-            vb = values[b >> 1] ^ (mask if b & 1 else 0)
-            values[node] = va & vb
-        return [values[s >> 1] ^ (mask if s & 1 else 0) for s in self._outputs]
-
-    def cleanup(self) -> "Aig":
-        """Copy with dead gates removed."""
-        new = Aig.like(self)
-        mapping: dict[int, int] = {0: 0}
-        for i in range(1, self.num_pis + 1):
-            mapping[i] = i << 1
-        reachable: set[int] = set()
-        stack = [s >> 1 for s in self._outputs]
-        while stack:
-            node = stack.pop()
-            if node in reachable or not self.is_gate(node):
-                continue
-            reachable.add(node)
-            stack.extend(s >> 1 for s in self.fanins(node))
-        for node in self.gates():
-            if node not in reachable:
-                continue
-            a, b = self.fanins(node)
-            mapping[node] = new.and_(
-                mapping[a >> 1] ^ (a & 1), mapping[b >> 1] ^ (b & 1)
+    def _check_gate_fanin(self, node: int, fanin: tuple[int, ...]) -> None:
+        """The invariants :meth:`and_` guarantees beyond the kernel's."""
+        a, b = fanin
+        if a >= b:
+            raise ValueError(f"gate node {node} fanin pair {fanin} is unsorted")
+        if a >> 1 == b >> 1:
+            raise ValueError(
+                f"gate node {node} fanin pair {fanin} repeats a node "
+                "(unit rule a&a/a&a' not applied)"
             )
-        for s, name in zip(self._outputs, self._output_names):
-            new.add_po(mapping[s >> 1] ^ (s & 1), name)
-        return new
-
-    def __repr__(self) -> str:
-        return (
-            f"Aig(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
-            f"gates={self.num_gates})"
-        )
+        if a >> 1 == 0:
+            raise ValueError(
+                f"gate node {node} fanin pair {fanin} references a constant "
+                "(unit rule a&0/a&1 not applied)"
+            )

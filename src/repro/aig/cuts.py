@@ -1,115 +1,37 @@
-"""k-feasible cut enumeration and cut functions for AIGs.
+"""AIG cut enumeration — compatibility shims over the generic kernel code.
 
-The AND-gate analogue of :mod:`repro.core.cuts`, needed by the DAG-aware
-AIG rewriting baseline (ref. [6] of the paper).
+The AND-gate cut enumerator that used to live here was a duplicate of
+:mod:`repro.core.cuts`; since the kernel refactor that enumerator is
+arity-generic and these wrappers only preserve the historical names and
+defaults (``cut_limit=12`` for the AIG rewriting baseline).
 """
 
 from __future__ import annotations
 
-from ..core.truth_table import tt_mask, tt_var
+from ..core.cuts import cut_cone, enumerate_cuts
+from ..core.simengine import cone_function
 from .aig import Aig
 
 __all__ = ["enumerate_aig_cuts", "aig_cut_function", "aig_cut_cone", "aig_fanout_counts"]
-
-
-def _signature(leaves: tuple[int, ...]) -> int:
-    sig = 0
-    for leaf in leaves:
-        sig |= 1 << (leaf & 63)
-    return sig
 
 
 def enumerate_aig_cuts(
     aig: Aig, k: int = 4, cut_limit: int = 12
 ) -> list[list[tuple[int, ...]]]:
     """All k-feasible cuts per node (plus each gate's trivial cut)."""
-    if k < 1:
-        raise ValueError("cut size k must be at least 1")
-    num_nodes = aig.num_pis + 1 + aig.num_gates
-    work: list[list[tuple[tuple[int, ...], int]]] = [[] for _ in range(num_nodes)]
-    work[0] = [((), 0)]
-    for node in range(1, aig.num_pis + 1):
-        work[node] = [((node,), _signature((node,)))]
-    for node in aig.gates():
-        a, b = aig.fanins(node)
-        merged: dict[tuple[int, ...], int] = {}
-        for leaves1, sig1 in work[a >> 1]:
-            for leaves2, sig2 in work[b >> 1]:
-                sig = sig1 | sig2
-                if sig.bit_count() > k:
-                    continue
-                union = set(leaves1)
-                union.update(leaves2)
-                if len(union) > k:
-                    continue
-                leaves = tuple(sorted(union))
-                merged[leaves] = _signature(leaves)
-        items = sorted(merged.items(), key=lambda item: len(item[0]))
-        # Domination pruning.
-        kept: list[tuple[tuple[int, ...], int]] = []
-        for leaves, sig in items:
-            leaf_set = set(leaves)
-            if not any(
-                len(other) < len(leaves) and leaf_set.issuperset(other)
-                for other, _ in kept
-            ):
-                kept.append((leaves, sig))
-        if len(kept) > cut_limit:
-            kept = kept[:cut_limit]
-        kept.append(((node,), _signature((node,))))
-        work[node] = kept
-    return [[leaves for leaves, _ in cuts] for cuts in work]
+    return enumerate_cuts(aig, k=k, cut_limit=cut_limit)
 
 
 def aig_cut_function(aig: Aig, root: int, leaves: tuple[int, ...]) -> int:
     """Local function of *root* over *leaves* (leaf j becomes x_j)."""
-    k = len(leaves)
-    mask = tt_mask(k)
-    values: dict[int, int] = {0: 0}
-    for j, leaf in enumerate(leaves):
-        values[leaf] = tt_var(k, j)
-
-    def eval_node(node: int) -> int:
-        cached = values.get(node)
-        if cached is not None:
-            return cached
-        if not aig.is_gate(node):
-            raise ValueError(f"terminal node {node} is not a cut leaf")
-        a, b = aig.fanins(node)
-        va = eval_node(a >> 1) ^ (mask if a & 1 else 0)
-        vb = eval_node(b >> 1) ^ (mask if b & 1 else 0)
-        values[node] = va & vb
-        return values[node]
-
-    return eval_node(root)
+    return cone_function(aig, root, leaves)
 
 
 def aig_cut_cone(aig: Aig, root: int, leaves: tuple[int, ...]) -> list[int]:
     """Internal nodes of the cut (including the root), topological order."""
-    leaf_set = set(leaves)
-    visited: set[int] = set()
-    order: list[int] = []
-
-    def visit(node: int) -> None:
-        if node in leaf_set or node == 0 or node in visited:
-            return
-        if not aig.is_gate(node):
-            raise ValueError(f"terminal node {node} outside the cut leaves")
-        visited.add(node)
-        for s in aig.fanins(node):
-            visit(s >> 1)
-        order.append(node)
-
-    visit(root)
-    return order
+    return cut_cone(aig, root, leaves)
 
 
 def aig_fanout_counts(aig: Aig) -> list[int]:
     """Per-node reference count (gate fanins plus outputs)."""
-    counts = [0] * (aig.num_pis + 1 + aig.num_gates)
-    for node in aig.gates():
-        for s in aig.fanins(node):
-            counts[s >> 1] += 1
-    for s in aig.outputs:
-        counts[s >> 1] += 1
-    return counts
+    return aig.fanout_counts()

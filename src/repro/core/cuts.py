@@ -1,4 +1,9 @@
-"""k-feasible cut enumeration for MIGs (Sec. II-C of the paper).
+"""k-feasible cut enumeration for kernel-backed networks (Sec. II-C).
+
+Arity-generic since the kernel refactor: the same enumerator serves the
+3-ary MIG and the 2-ary AIG (which previously carried a duplicate in
+``repro.aig.cuts``, now a shim over this module).  Everything below
+that says "mig" accepts any :class:`repro.core.kernel.Network` facade.
 
 A cut ``(v, L)`` of a node ``v`` is a set of leaves ``L`` such that every
 path from ``v`` to a non-terminal passes through a leaf, and every leaf
@@ -7,7 +12,7 @@ enumerated bottom-up with the saturating union ``⊗k`` of the paper::
 
     cuts_k(0) = {{}}
     cuts_k(x) = {{x}}                      for primary inputs x
-    cuts_k(g) = cuts_k(g1) ⊗k cuts_k(g2) ⊗k cuts_k(g3)
+    cuts_k(g) = cuts_k(g1) ⊗k ... ⊗k cuts_k(g_arity)
 
 As is standard in cut-based rewriting (and implicit in the paper's use of
 cuts as rewriting targets), the trivial cut ``{g}`` is additionally kept
@@ -35,7 +40,7 @@ from __future__ import annotations
 from bisect import insort
 
 from ..runtime.metrics import PassMetrics
-from .mig import Mig
+from .kernel import Network
 from .truth_table import tt_maj, tt_mask
 
 __all__ = [
@@ -107,6 +112,33 @@ def _merge3(
     )
 
 
+def _merge2(
+    set1: list[tuple[tuple[int, ...], int, int]],
+    set2: list[tuple[tuple[int, ...], int, int]],
+    k: int,
+) -> list[tuple[tuple[int, ...], int, int, tuple]]:
+    """Two-operand ``⊗k`` — the AIG instantiation of :func:`_merge3`."""
+    result: dict[tuple[int, ...], tuple[int, int, tuple]] = {}
+    for leaves1, sig1, size1 in set1:
+        base1 = set(leaves1)
+        for leaves2, sig2, size2 in set2:
+            sig = sig1 | sig2
+            if sig.bit_count() > k:
+                continue
+            union = base1.union(leaves2)
+            if len(union) > k:
+                continue
+            leaves = tuple(sorted(union))
+            if leaves not in result:
+                result[leaves] = (sig, 1 + size1 + size2, (leaves1, leaves2))
+    return _prune_dominated(
+        [
+            (leaves, sig, size, prov)
+            for leaves, (sig, size, prov) in result.items()
+        ]
+    )
+
+
 def _prune_dominated(
     cuts: list[tuple[tuple[int, ...], int, int, tuple]],
 ) -> list[tuple[tuple[int, ...], int, int, tuple]]:
@@ -131,7 +163,7 @@ def _prune_dominated(
 
 
 def _enumerate(
-    mig: Mig,
+    mig: Network,
     k: int,
     cut_limit: int,
     include_trivial: bool,
@@ -155,6 +187,9 @@ def _enumerate(
     """
     if k < 1:
         raise ValueError("cut size k must be at least 1")
+    arity = mig.arity
+    if arity not in (2, 3):
+        raise ValueError(f"unsupported gate arity {arity}")
     num_nodes = mig.num_nodes
     work: list[list[tuple[tuple[int, ...], int, int]]] = [
         [] for _ in range(num_nodes)
@@ -182,7 +217,10 @@ def _enumerate(
                 sources.append([(trivial, _signature(trivial), 0)])
             else:
                 sources.append(work[child])
-        merged = _merge3(sources[0], sources[1], sources[2], k)
+        if arity == 3:
+            merged = _merge3(sources[0], sources[1], sources[2], k)
+        else:
+            merged = _merge2(sources[0], sources[1], k)
         if len(merged) > cut_limit:
             merged = merged[:cut_limit]
         entries = [(leaves, sig, size) for leaves, sig, size, _ in merged]
@@ -212,13 +250,13 @@ def _enumerate(
 
 
 def enumerate_cuts(
-    mig: Mig,
+    mig: Network,
     k: int = 4,
     cut_limit: int = 25,
     include_trivial: bool = True,
     metrics: PassMetrics | None = None,
 ) -> list[list[tuple[int, ...]]]:
-    """Enumerate k-feasible cuts of every node of *mig*.
+    """Enumerate k-feasible cuts of every node of *mig* (any arity).
 
     Returns ``cuts`` with ``cuts[node]`` the list of leaf tuples of that
     node, ordered by increasing leaf count (the trivial cut included in
@@ -230,7 +268,7 @@ def enumerate_cuts(
 
 
 def enumerate_cut_set(
-    mig: Mig,
+    mig: Network,
     k: int = 4,
     cut_limit: int = 25,
     include_trivial: bool = True,
@@ -315,7 +353,7 @@ class CutSet:
 
     def __init__(
         self,
-        mig: Mig,
+        mig: Network,
         cuts: list[list[tuple[int, ...]]],
         provenance: dict[tuple[int, tuple[int, ...]], tuple],
         metrics: PassMetrics | None = None,
@@ -345,10 +383,11 @@ class CutSet:
     def function(self, root: int, leaves: tuple[int, ...]) -> int:
         """Local function of cut ``(root, leaves)`` over its leaves.
 
-        Derived incrementally: each cut's truth table is the majority of
-        its fanin cuts' (memoized) truth tables expanded onto the union
-        leaf set — no cone re-simulation.  Falls back to
-        :meth:`Mig.cut_function` for cuts enumeration never produced.
+        Derived incrementally: each cut's truth table is the gate
+        operation (majority for MIGs, conjunction for AIGs) of its fanin
+        cuts' (memoized) truth tables expanded onto the union leaf set —
+        no cone re-simulation.  Falls back to the facade's
+        ``cut_function`` for cuts enumeration never produced.
         """
         functions = self._functions
         key = (root, leaves)
@@ -359,6 +398,7 @@ class CutSet:
             return cached
         mig = self.mig
         provenance = self._provenance
+        is_maj = mig.arity == 3
         computed = 0
         hits = 0
         pushed: set[tuple[int, tuple[int, ...]]] = set()
@@ -384,8 +424,13 @@ class CutSet:
                 computed += 1
                 stack.pop()
                 continue
-            (fa, fb, fc), (l1, l2, l3) = prov
-            child_keys = ((fa >> 1, l1), (fb >> 1, l2), (fc >> 1, l3))
+            fan_signals, fan_leaves = prov
+            if is_maj:
+                (fa, fb, fc), (l1, l2, l3) = fan_signals, fan_leaves
+                child_keys = ((fa >> 1, l1), (fb >> 1, l2), (fc >> 1, l3))
+            else:
+                (fa, fb), (l1, l2) = fan_signals, fan_leaves
+                child_keys = ((fa >> 1, l1), (fb >> 1, l2))
             missing = [ck for ck in child_keys if ck not in functions]
             if top not in pushed:
                 pushed.add(top)
@@ -400,15 +445,18 @@ class CutSet:
                 continue
             mask = tt_mask(len(lv))
             va = _expand(functions[child_keys[0]], l1, lv)
-            vb = _expand(functions[child_keys[1]], l2, lv)
-            vc = _expand(functions[child_keys[2]], l3, lv)
             if fa & 1:
                 va ^= mask
+            vb = _expand(functions[child_keys[1]], l2, lv)
             if fb & 1:
                 vb ^= mask
-            if fc & 1:
-                vc ^= mask
-            functions[top] = tt_maj(va, vb, vc) & mask
+            if is_maj:
+                vc = _expand(functions[child_keys[2]], l3, lv)
+                if fc & 1:
+                    vc ^= mask
+                functions[top] = tt_maj(va, vb, vc) & mask
+            else:
+                functions[top] = va & vb & mask
             computed += 1
             stack.pop()
         if self.metrics is not None:
@@ -423,7 +471,7 @@ SHARED_CONE = object()
 
 
 def cut_cone_nodes(
-    mig: Mig,
+    mig: Network,
     root: int,
     leaves: tuple[int, ...],
     fanout: list[int] | None = None,
@@ -456,7 +504,7 @@ def cut_cone_nodes(
     return seen
 
 
-def cut_cone(mig: Mig, root: int, leaves: tuple[int, ...]) -> list[int]:
+def cut_cone(mig: Network, root: int, leaves: tuple[int, ...]) -> list[int]:
     """Return the internal nodes of cut ``(root, leaves)`` in topological order.
 
     Internal nodes are the gates strictly inside the cut, *including* the
@@ -484,7 +532,7 @@ def cut_cone(mig: Mig, root: int, leaves: tuple[int, ...]) -> list[int]:
     return order
 
 
-def mffc_nodes(mig: Mig, root: int, fanout: list[int] | None = None) -> set[int]:
+def mffc_nodes(mig: Network, root: int, fanout: list[int] | None = None) -> set[int]:
     """Maximum fanout-free cone of *root*: gates that die if *root* dies.
 
     A gate belongs to the MFFC if all of its fanout paths lead into the
@@ -508,6 +556,6 @@ def mffc_nodes(mig: Mig, root: int, fanout: list[int] | None = None) -> set[int]
     return cone
 
 
-def mffc_size(mig: Mig, root: int, fanout: list[int] | None = None) -> int:
+def mffc_size(mig: Network, root: int, fanout: list[int] | None = None) -> int:
     """Number of gates in the MFFC of *root*."""
     return len(mffc_nodes(mig, root, fanout))

@@ -1,0 +1,560 @@
+"""The shared logic-network kernel: one substrate under MIG and AIG.
+
+Every homogeneous logic network in this package — the 3-ary
+majority-inverter graph and the 2-ary and-inverter graph — is the same
+data structure wearing different gate semantics: an append-only node
+array in strict topological order, signals encoding ``2*node +
+complement``, a structural-hash table mapping normalized fanin tuples to
+nodes, and outputs referencing signals.  :class:`Network` owns exactly
+that substrate, arity-generically; the facades
+(:class:`repro.core.mig.Mig`, :class:`repro.aig.aig.Aig`) contribute only
+the per-arity gate rules (unit simplifications, inverter normalization)
+and convenience constructors.
+
+Storage is struct-of-arrays in spirit and hybrid in practice:
+
+* the **authoritative** store is the append-optimized Python side —
+  ``_fanins`` (per-node fanin tuples, ``None`` for terminals) plus the
+  strash dict — because gate creation is the hottest operation of the
+  rewriting passes and a Python ``list.append`` beats any per-gate numpy
+  write by an order of magnitude;
+* the **array** view (:meth:`Network.arrays`) lazily materializes flat
+  numpy ``int64``/``uint64`` fanin-node / complement-flag matrices, a
+  level array, and level-grouped gate batches.  These feed the array
+  kernels: :meth:`fanout_counts` is one ``np.bincount`` and the
+  bit-parallel simulation engine (:mod:`repro.core.simengine`) evaluates
+  whole levels at a time.  The view is cached and keyed on the node and
+  output counts, so appends invalidate it automatically.
+
+This module imports nothing from the rest of ``repro`` (only numpy and
+the standard library) — enforced by ``tools/check_layers.py``.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "Network",
+    "NetworkArrays",
+    "make_signal",
+    "signal_not",
+    "signal_node",
+    "signal_is_complemented",
+    "CONST0",
+    "CONST1",
+]
+
+#: Signal constants for the Boolean constants.
+CONST0 = 0
+CONST1 = 1
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def make_signal(node: int, complement: bool = False) -> int:
+    """Build a signal from a node index and a complement flag."""
+    return (node << 1) | int(complement)
+
+
+def signal_not(signal: int) -> int:
+    """Return the complement of a signal."""
+    return signal ^ 1
+
+
+def signal_node(signal: int) -> int:
+    """Return the node index a signal points to."""
+    return signal >> 1
+
+
+def signal_is_complemented(signal: int) -> bool:
+    """Return True if the signal carries an inverter."""
+    return bool(signal & 1)
+
+
+class NetworkArrays:
+    """Flat numpy view of a :class:`Network` — the struct-of-arrays side.
+
+    All matrices cover gate nodes only, indexed by ``node - first_gate``:
+
+    * ``fan_node`` — ``(num_gates, arity)`` int64 fanin node indices;
+    * ``fan_comp`` — ``(num_gates, arity)`` uint64 complement flags,
+      ``0`` or all-ones so a complement is one ``xor`` with the word
+      mask;
+    * ``levels`` — per-node depth over all ``num_nodes`` nodes;
+    * ``level_groups`` — gate node indices batched by level in ascending
+      level order; every gate's fanins live in strictly earlier batches,
+      which is what lets the simulation engine evaluate one whole batch
+      per vectorized step;
+    * ``out_node`` / ``out_comp`` — the output signals, split.
+
+    For the simulation engine a second, **permuted** view is precomputed
+    in which gate rows are re-ordered by level while terminal rows stay
+    put.  Each level then occupies one contiguous row slice, so a level
+    evaluates as ``gather, xor, combine, slice-write`` with no per-call
+    index building — the per-level Python overhead is what dominates
+    bit-parallel simulation of deep networks:
+
+    * ``sim_pos`` — node index -> row in the permuted matrix;
+    * ``sim_levels`` — per level: ``(start, end, gates, fan_pos,
+      fan_comp)`` where ``fan_pos`` stacks the per-position fanin row
+      indices of the whole level into one ``(arity*gates,)`` array (all
+      first fanins, then all second fanins, ...) so the level needs a
+      single gather and a single complement xor, and ``fan_comp`` is the
+      matching ``(arity*gates, 1)`` complement column;
+    * ``sim_out_pos`` — permuted rows of the output signals.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_gates",
+        "first_gate",
+        "arity",
+        "fan_node",
+        "fan_comp",
+        "out_node",
+        "out_comp",
+        "_net",
+        "_levels",
+        "_level_groups",
+        "_sim_pos",
+        "_sim_levels",
+        "_sim_out_pos",
+    )
+
+    def __init__(self, net: "Network") -> None:
+        arity = net.arity
+        first_gate = net.num_pis + 1
+        num_nodes = len(net._fanins)
+        num_gates = num_nodes - first_gate
+        self.num_nodes = num_nodes
+        self.num_gates = num_gates
+        self.first_gate = first_gate
+        self.arity = arity
+        flat = np.fromiter(
+            chain.from_iterable(net._fanins[first_gate:]),
+            dtype=np.int64,
+            count=num_gates * arity,
+        ).reshape(num_gates, arity)
+        self.fan_node = flat >> 1
+        self.fan_comp = np.where(flat & 1, _ALL_ONES, np.uint64(0))
+        outs = np.asarray(net._outputs, dtype=np.int64).reshape(len(net._outputs))
+        self.out_node = outs >> 1
+        self.out_comp = np.where(outs & 1, _ALL_ONES, np.uint64(0))
+        # The level/simulation side is built on first access: the array
+        # view is rebuilt after every append batch (fanout_counts sits in
+        # the rewriting hot path), and paying an argsort plus per-level
+        # array slicing there would dwarf the bincount it feeds.
+        self._net = net
+        self._levels: np.ndarray | None = None
+        self._sim_levels = None
+
+    def _build_levels(self) -> np.ndarray:
+        levels = np.asarray(self._net.levels(), dtype=np.int64)
+        num_nodes, first_gate = self.num_nodes, self.first_gate
+        sim_pos = np.arange(num_nodes, dtype=np.int64)
+        if self.num_gates:
+            gate_levels = levels[first_gate:]
+            order = np.argsort(gate_levels, kind="stable") + first_gate
+            counts = np.bincount(gate_levels)
+            bounds = np.cumsum(counts[counts > 0])
+            self._level_groups = tuple(np.split(order, bounds[:-1]))
+            sim_pos[order] = np.arange(first_gate, num_nodes, dtype=np.int64)
+            # Permuted-space fanin rows/complements, in level order.
+            gate_rows = order - first_gate
+            fan_pos = sim_pos[self.fan_node[gate_rows]]
+            fan_comp_lv = self.fan_comp[gate_rows]
+            starts = np.concatenate(([0], bounds[:-1]))
+            self._sim_levels = tuple(
+                (
+                    first_gate + int(lo),
+                    first_gate + int(hi),
+                    int(hi - lo),
+                    np.ascontiguousarray(fan_pos[lo:hi].T.reshape(-1)),
+                    np.ascontiguousarray(
+                        fan_comp_lv[lo:hi].T.reshape(-1, 1)
+                    ),
+                )
+                for lo, hi in zip(starts, bounds)
+            )
+        else:
+            self._level_groups = ()
+            self._sim_levels = ()
+        self._sim_pos = sim_pos
+        self._sim_out_pos = sim_pos[self.out_node]
+        self._levels = levels
+        return levels
+
+    @property
+    def levels(self) -> np.ndarray:
+        levels = self._levels
+        return levels if levels is not None else self._build_levels()
+
+    @property
+    def level_groups(self) -> tuple:
+        if self._levels is None:
+            self._build_levels()
+        return self._level_groups
+
+    @property
+    def sim_pos(self) -> np.ndarray:
+        if self._levels is None:
+            self._build_levels()
+        return self._sim_pos
+
+    @property
+    def sim_levels(self) -> tuple:
+        if self._levels is None:
+            self._build_levels()
+        return self._sim_levels
+
+    @property
+    def sim_out_pos(self) -> np.ndarray:
+        if self._levels is None:
+            self._build_levels()
+        return self._sim_out_pos
+
+
+class Network:
+    """Arity-generic logic-network substrate with structural hashing.
+
+    Subclasses (the facades) set :attr:`ARITY`, implement the semantic
+    gate constructor (``maj`` / ``and_``) on top of :meth:`_add_gate`,
+    and may refine :meth:`check` via :meth:`_check_gate_fanin`.
+
+    The kernel also owns the instrumentation counters shared by every
+    facade: ``strash_hits`` (gate constructions answered by the hash
+    table), ``unit_rules`` (constructions simplified away by a unit
+    rule), and ``sim_words`` (64-bit gate-words evaluated by the
+    simulation engine).
+    """
+
+    #: fanin count of every gate; overridden by facades (3 = MIG, 2 = AIG)
+    ARITY: int = 0
+    DEFAULT_NAME: str = "net"
+
+    def __init__(self, num_pis: int = 0, name: str | None = None) -> None:
+        self.name = self.DEFAULT_NAME if name is None else name
+        # _fanins[node] is None for terminals, else the normalized tuple.
+        self._fanins: list[tuple[int, ...] | None] = [None]
+        self._pi_names: list[str] = []
+        self._outputs: list[int] = []
+        self._output_names: list[str] = []
+        self._strash: dict[tuple[int, ...], int] = {}
+        self.strash_hits = 0
+        self.unit_rules = 0
+        self.sim_words = 0
+        self._arrays_cache: tuple[tuple[int, int], NetworkArrays] | None = None
+        for _ in range(num_pis):
+            self.add_pi()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def like(cls, other: "Network") -> "Network":
+        """Create an empty network with the same primary inputs as *other*."""
+        new = cls(name=other.name)
+        for name in other._pi_names:
+            new.add_pi(name)
+        return new
+
+    def add_pi(self, name: str | None = None) -> int:
+        """Add a primary input; returns its (positive) signal.
+
+        PIs must be created before any gate so node indices stay
+        topologically ordered.
+        """
+        if self.num_gates:
+            raise ValueError("all primary inputs must be created before the first gate")
+        node = len(self._fanins)
+        self._fanins.append(None)
+        self._pi_names.append(name if name is not None else f"x{node - 1}")
+        return node << 1
+
+    def pi_signals(self) -> list[int]:
+        """Return the signals of all primary inputs, in creation order."""
+        return [make_signal(1 + i) for i in range(self.num_pis)]
+
+    def _add_gate(self, fanin: tuple[int, ...]) -> int:
+        """Store (or reuse) a gate with the already-normalized *fanin*.
+
+        This is the raw substrate operation: structural hashing plus an
+        append.  Unit rules and inverter normalization are the facade's
+        responsibility — :meth:`check` validates they were applied.
+        Returns the node index.
+        """
+        node = self._strash.get(fanin)
+        if node is None:
+            node = len(self._fanins)
+            self._fanins.append(fanin)
+            self._strash[fanin] = node
+        else:
+            self.strash_hits += 1
+        return node
+
+    def add_po(self, signal: int, name: str | None = None) -> None:
+        """Register a primary output pointing at *signal*."""
+        if signal_node(signal) >= len(self._fanins):
+            raise ValueError(f"signal {signal} refers to an unknown node")
+        self._outputs.append(signal)
+        self._output_names.append(name if name is not None else f"y{len(self._outputs) - 1}")
+
+    def _make_gate(self, fanins: tuple[int, ...]) -> int:
+        """Build a gate through the facade's semantic constructor.
+
+        Used by the generic :meth:`cleanup`; facades override (``maj`` /
+        ``and_``) so rebuilt gates re-apply their normalization rules.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Fanin count of every gate of this network class."""
+        return self.ARITY
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pi_names)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._outputs)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including constant and PIs."""
+        return len(self._fanins)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gate nodes — the *size* metric of the paper."""
+        return len(self._fanins) - 1 - self.num_pis
+
+    @property
+    def size(self) -> int:
+        """Alias for :attr:`num_gates` matching the paper's terminology."""
+        return self.num_gates
+
+    @property
+    def outputs(self) -> tuple[int, ...]:
+        """The output signals."""
+        return tuple(self._outputs)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        """The output names."""
+        return tuple(self._output_names)
+
+    @property
+    def pi_names(self) -> tuple[str, ...]:
+        """The primary-input names."""
+        return tuple(self._pi_names)
+
+    def is_constant(self, node: int) -> bool:
+        """True for the constant-0 node."""
+        return node == 0
+
+    def is_pi(self, node: int) -> bool:
+        """True for primary-input nodes."""
+        return 1 <= node <= self.num_pis
+
+    def is_gate(self, node: int) -> bool:
+        """True for gate nodes."""
+        return self.num_pis < node < len(self._fanins)
+
+    def fanins(self, node: int) -> tuple[int, ...]:
+        """Return the fanin signals of a gate node."""
+        fanin = self._fanins[node]
+        if fanin is None:
+            raise ValueError(f"node {node} is a terminal and has no fanins")
+        return fanin
+
+    def gates(self) -> Iterator[int]:
+        """Iterate gate nodes in topological order."""
+        return iter(range(self.num_pis + 1, len(self._fanins)))
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate all nodes (constant, PIs, gates) in topological order."""
+        return iter(range(len(self._fanins)))
+
+    # ------------------------------------------------------------------
+    # array kernels
+    # ------------------------------------------------------------------
+
+    def arrays(self) -> NetworkArrays:
+        """Return the cached flat-array view of the network.
+
+        Rebuilt automatically when the node or output count changed; call
+        :meth:`invalidate_arrays` after mutating ``_fanins`` in place
+        (only fault-injection hooks and white-box tests do that).
+        """
+        key = (len(self._fanins), len(self._outputs))
+        cached = self._arrays_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        arrays = NetworkArrays(self)
+        self._arrays_cache = (key, arrays)
+        return arrays
+
+    def invalidate_arrays(self) -> None:
+        """Drop the cached array view (after in-place structural edits)."""
+        self._arrays_cache = None
+
+    def fanout_counts(self) -> list[int]:
+        """Return, per node, how many gate fanins plus outputs reference it.
+
+        Computed as one ``np.bincount`` over the flat fanin array.
+        """
+        n = len(self._fanins)
+        arrays = self.arrays()
+        counts = np.bincount(arrays.fan_node.ravel(), minlength=n)
+        if self._outputs:
+            counts = counts + np.bincount(arrays.out_node, minlength=n)
+        return counts.tolist()
+
+    def levels(self) -> list[int]:
+        """Return per-node depth (terminals at level 0)."""
+        level = [0] * len(self._fanins)
+        first_gate = self.num_pis + 1
+        fanins = self._fanins
+        for node in range(first_gate, len(fanins)):
+            level[node] = 1 + max(level[s >> 1] for s in fanins[node])
+        return level
+
+    def depth(self) -> int:
+        """Return the network depth — longest terminal-to-output gate path."""
+        if not self._outputs:
+            return 0
+        level = self.levels()
+        return max(level[s >> 1] for s in self._outputs)
+
+    # ------------------------------------------------------------------
+    # structural validation
+    # ------------------------------------------------------------------
+
+    def _check_gate_fanin(self, node: int, fanin: tuple[int, ...]) -> None:
+        """Facade hook: validate per-arity normalization invariants."""
+
+    def check(self) -> None:
+        """Validate the structural invariants; raises ``ValueError`` on breakage.
+
+        Invariants enforced (everything the facade constructors guarantee
+        by construction, so a violation means a pass corrupted the
+        representation by mutating internals directly):
+
+        * terminals — node 0 and the PIs have no fanins; every gate does;
+        * acyclicity — each fanin references a strictly smaller node
+          index (the strict topological order of the node array);
+        * no dangling refs — fanin and output signals point at existing
+          nodes;
+        * facade normalization — whatever :meth:`_check_gate_fanin`
+          demands (sorted triples, unit-rule residue, inverter
+          normalization for MIGs; ordered pairs for AIGs);
+        * strash consistency — every structural-hash entry agrees with
+          the node array.
+        """
+        n = len(self._fanins)
+        arity = self.arity
+        if n == 0 or self._fanins[0] is not None:
+            raise ValueError("node 0 must be the constant-0 terminal")
+        for node in range(1, self.num_pis + 1):
+            if self._fanins[node] is not None:
+                raise ValueError(f"PI node {node} has fanins")
+        for node in range(self.num_pis + 1, n):
+            fanin = self._fanins[node]
+            if fanin is None:
+                raise ValueError(f"gate node {node} has no fanins")
+            if len(fanin) != arity:
+                raise ValueError(
+                    f"gate node {node} has {len(fanin)} fanins, not {arity}"
+                )
+            for s in fanin:
+                if s < 0 or (s >> 1) >= n:
+                    raise ValueError(
+                        f"gate node {node} fanin signal {s} is dangling"
+                    )
+                if (s >> 1) >= node:
+                    raise ValueError(
+                        f"gate node {node} fanin signal {s} breaks topological "
+                        "order (cycle or forward reference)"
+                    )
+            self._check_gate_fanin(node, fanin)
+        for fanin, node in self._strash.items():
+            if not self.is_gate(node) or self._fanins[node] != fanin:
+                raise ValueError(
+                    f"strash entry {fanin} -> {node} disagrees with the node array"
+                )
+        for i, s in enumerate(self._outputs):
+            if s < 0 or (s >> 1) >= n:
+                raise ValueError(f"output {i} signal {s} is dangling")
+        if len(self._outputs) != len(self._output_names):
+            raise ValueError("output/name list length mismatch")
+        if len(self._pi_names) != self.num_pis:
+            raise ValueError("PI/name list length mismatch")
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def _reachable_gates(self) -> list[int]:
+        """Gate nodes reachable from the outputs, in topological order."""
+        reachable = bytearray(len(self._fanins))
+        first_gate = self.num_pis + 1
+        fanins = self._fanins
+        stack = [s >> 1 for s in self._outputs]
+        while stack:
+            node = stack.pop()
+            if node < first_gate or reachable[node]:
+                continue
+            reachable[node] = 1
+            stack.extend(s >> 1 for s in fanins[node])
+        return [
+            node for node in range(first_gate, len(fanins)) if reachable[node]
+        ]
+
+    def cleanup(self) -> "Network":
+        """Return a copy with dead gates removed (reachable cone only).
+
+        Gates are rebuilt through the facade constructor
+        (:meth:`_make_gate`), so normalization is re-applied — for
+        networks built through the facades this is a pure compaction.
+        """
+        new = type(self).like(self)
+        mapping: dict[int, int] = {0: 0}
+        for i in range(1, self.num_pis + 1):
+            mapping[i] = make_signal(i)
+        for node in self._reachable_gates():
+            mapped = tuple(
+                mapping[s >> 1] ^ (s & 1) for s in self._fanins[node]  # type: ignore[union-attr]
+            )
+            mapping[node] = new._make_gate(mapped)
+        for s, name in zip(self._outputs, self._output_names):
+            new.add_po(mapping[s >> 1] ^ (s & 1), name)
+        return new
+
+    def clone(self) -> "Network":
+        """Return a deep copy."""
+        new = type(self)(name=self.name)
+        new._fanins = list(self._fanins)
+        new._pi_names = list(self._pi_names)
+        new._outputs = list(self._outputs)
+        new._output_names = list(self._output_names)
+        new._strash = dict(self._strash)
+        return new
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, pis={self.num_pis}, "
+            f"pos={self.num_pos}, gates={self.num_gates})"
+        )

@@ -1,8 +1,14 @@
 """The Majority-Inverter Graph data structure (Sec. II-B of the paper).
 
 An MIG is a DAG whose non-terminal nodes all compute the ternary majority
-function and whose edges carry optional complementation.  This module
-follows the conventions of modern logic-network packages:
+function and whose edges carry optional complementation.  Since the
+kernel refactor the class is a thin 3-ary facade over the shared
+substrate :class:`repro.core.kernel.Network` (storage, structural
+hashing, traversals, validation, array kernels) and the shared
+bit-parallel engine :mod:`repro.core.simengine` (simulation, cut
+functions); this module contributes only the majority-gate semantics.
+
+The conventions of modern logic-network packages apply:
 
 * **Nodes** are integers.  Node ``0`` is the constant-0 terminal, nodes
   ``1 .. num_pis`` are primary inputs, and gate nodes follow in strict
@@ -20,9 +26,18 @@ calls with functionally identical triples return the same signal.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable
 
-from .truth_table import tt_maj, tt_mask, tt_var
+from .kernel import (
+    CONST0,
+    CONST1,
+    Network,
+    make_signal,
+    signal_is_complemented,
+    signal_node,
+    signal_not,
+)
+from .simengine import SimulationMixin
 
 __all__ = [
     "Mig",
@@ -34,32 +49,8 @@ __all__ = [
     "CONST1",
 ]
 
-#: Signal constants for the Boolean constants.
-CONST0 = 0
-CONST1 = 1
 
-
-def make_signal(node: int, complement: bool = False) -> int:
-    """Build a signal from a node index and a complement flag."""
-    return (node << 1) | int(complement)
-
-
-def signal_not(signal: int) -> int:
-    """Return the complement of a signal."""
-    return signal ^ 1
-
-
-def signal_node(signal: int) -> int:
-    """Return the node index a signal points to."""
-    return signal >> 1
-
-
-def signal_is_complemented(signal: int) -> bool:
-    """Return True if the signal carries an inverter."""
-    return bool(signal & 1)
-
-
-class Mig:
+class Mig(SimulationMixin, Network):
     """A Majority-Inverter Graph.
 
     >>> mig = Mig(3, name="full_adder")
@@ -71,45 +62,12 @@ class Mig:
     (3, 2)
     """
 
-    def __init__(self, num_pis: int = 0, name: str = "mig") -> None:
-        self.name = name
-        # _fanins[node] is None for terminals, else the sorted signal triple.
-        self._fanins: list[tuple[int, int, int] | None] = [None]
-        self._pi_names: list[str] = []
-        self._outputs: list[int] = []
-        self._output_names: list[str] = []
-        self._strash: dict[tuple[int, int, int], int] = {}
-        for _ in range(num_pis):
-            self.add_pi()
+    ARITY = 3
+    DEFAULT_NAME = "mig"
 
     # ------------------------------------------------------------------
-    # construction
+    # gate semantics
     # ------------------------------------------------------------------
-
-    @classmethod
-    def like(cls, other: "Mig") -> "Mig":
-        """Create an empty MIG with the same primary inputs (and names) as *other*."""
-        new = cls(name=other.name)
-        for name in other.pi_names:
-            new.add_pi(name)
-        return new
-
-    def add_pi(self, name: str | None = None) -> int:
-        """Add a primary input; returns its (positive) signal.
-
-        PIs must be created before any gate so node indices stay
-        topologically ordered.
-        """
-        if self.num_gates:
-            raise ValueError("all primary inputs must be created before the first gate")
-        node = len(self._fanins)
-        self._fanins.append(None)
-        self._pi_names.append(name if name is not None else f"x{node - 1}")
-        return make_signal(node)
-
-    def pi_signals(self) -> list[int]:
-        """Return the signals of all primary inputs, in creation order."""
-        return [make_signal(1 + i) for i in range(self.num_pis)]
 
     def maj(self, a: int, b: int, c: int) -> int:
         """Create (or reuse) the majority gate ``<abc>`` and return its signal."""
@@ -118,13 +76,17 @@ class Mig:
             raise ValueError(f"signal among ({a}, {b}, {c}) refers to an unknown node")
         # Unit rules.
         if a == b or a == c:
+            self.unit_rules += 1
             return a
         if b == c:
+            self.unit_rules += 1
             return b
         if a == signal_not(b) or a == signal_not(c):
             # <a a' c> = c ; third operand is whichever is not the pair.
+            self.unit_rules += 1
             return c if a == signal_not(b) else b
         if b == signal_not(c):
+            self.unit_rules += 1
             return a
         fanin = tuple(sorted((a, b, c)))
         # Self-duality normalization: store with at most one complemented
@@ -136,9 +98,14 @@ class Mig:
         node = self._strash.get(fanin)
         if node is None:
             node = len(self._fanins)
-            self._fanins.append(fanin)  # type: ignore[arg-type]
+            self._fanins.append(fanin)
             self._strash[fanin] = node
+        else:
+            self.strash_hits += 1
         return make_signal(node, out_complement)
+
+    def _make_gate(self, fanins: tuple[int, ...]) -> int:
+        return self.maj(*fanins)
 
     def and_(self, a: int, b: int) -> int:
         """Conjunction via ``<0ab>``."""
@@ -162,304 +129,28 @@ class Mig:
         """Multiplexer ``c ? t : e`` built from majority gates."""
         return self.or_(self.and_(c, t), self.and_(signal_not(c), e))
 
-    def add_po(self, signal: int, name: str | None = None) -> None:
-        """Register a primary output pointing at *signal*."""
-        if signal_node(signal) >= len(self._fanins):
-            raise ValueError(f"signal {signal} refers to an unknown node")
-        self._outputs.append(signal)
-        self._output_names.append(name if name is not None else f"y{len(self._outputs) - 1}")
-
     # ------------------------------------------------------------------
-    # structure queries
+    # structural validation (MIG-specific normalization invariants)
     # ------------------------------------------------------------------
 
-    @property
-    def num_pis(self) -> int:
-        """Number of primary inputs."""
-        return len(self._pi_names)
-
-    @property
-    def num_pos(self) -> int:
-        """Number of primary outputs."""
-        return len(self._outputs)
-
-    @property
-    def num_nodes(self) -> int:
-        """Total node count including constant and PIs."""
-        return len(self._fanins)
-
-    @property
-    def num_gates(self) -> int:
-        """Number of majority gates — the *size* metric of the paper."""
-        return len(self._fanins) - 1 - self.num_pis
-
-    @property
-    def size(self) -> int:
-        """Alias for :attr:`num_gates` matching the paper's terminology."""
-        return self.num_gates
-
-    @property
-    def outputs(self) -> tuple[int, ...]:
-        """The output signals."""
-        return tuple(self._outputs)
-
-    @property
-    def output_names(self) -> tuple[str, ...]:
-        """The output names."""
-        return tuple(self._output_names)
-
-    @property
-    def pi_names(self) -> tuple[str, ...]:
-        """The primary-input names."""
-        return tuple(self._pi_names)
-
-    def is_constant(self, node: int) -> bool:
-        """True for the constant-0 node."""
-        return node == 0
-
-    def is_pi(self, node: int) -> bool:
-        """True for primary-input nodes."""
-        return 1 <= node <= self.num_pis
-
-    def is_gate(self, node: int) -> bool:
-        """True for majority-gate nodes."""
-        return node > self.num_pis and node < len(self._fanins)
-
-    def fanins(self, node: int) -> tuple[int, int, int]:
-        """Return the three fanin signals of a gate node."""
-        fanin = self._fanins[node]
-        if fanin is None:
-            raise ValueError(f"node {node} is a terminal and has no fanins")
-        return fanin
-
-    def gates(self) -> Iterator[int]:
-        """Iterate gate nodes in topological order."""
-        return iter(range(self.num_pis + 1, len(self._fanins)))
-
-    def nodes(self) -> Iterator[int]:
-        """Iterate all nodes (constant, PIs, gates) in topological order."""
-        return iter(range(len(self._fanins)))
-
-    def fanout_counts(self) -> list[int]:
-        """Return, per node, how many gate fanins plus outputs reference it."""
-        counts = [0] * len(self._fanins)
-        for node in self.gates():
-            for s in self.fanins(node):
-                counts[signal_node(s)] += 1
-        for s in self._outputs:
-            counts[signal_node(s)] += 1
-        return counts
-
-    def levels(self) -> list[int]:
-        """Return per-node depth (terminals at level 0)."""
-        level = [0] * len(self._fanins)
-        for node in self.gates():
-            level[node] = 1 + max(level[signal_node(s)] for s in self.fanins(node))
-        return level
-
-    def depth(self) -> int:
-        """Return the depth of the MIG — longest terminal→output gate path."""
-        if not self._outputs:
-            return 0
-        level = self.levels()
-        return max(level[signal_node(s)] for s in self._outputs)
+    def _check_gate_fanin(self, node: int, fanin: tuple[int, ...]) -> None:
+        """The invariants :meth:`maj` guarantees beyond the kernel's."""
+        if tuple(sorted(fanin)) != fanin:
+            raise ValueError(f"gate node {node} fanin triple {fanin} is unsorted")
+        if len({s >> 1 for s in fanin}) != 3:
+            raise ValueError(
+                f"gate node {node} fanin triple {fanin} repeats a node "
+                "(unit rule <aab>/<aa'b> not applied)"
+            )
+        if sum(s & 1 for s in fanin) > 1:
+            raise ValueError(
+                f"gate node {node} fanin triple {fanin} has more than one "
+                "inverter (self-duality normalization not applied)"
+            )
 
     # ------------------------------------------------------------------
-    # structural validation
+    # transformations beyond the kernel's cleanup/clone
     # ------------------------------------------------------------------
-
-    def check(self) -> None:
-        """Validate the structural invariants; raises ``ValueError`` on breakage.
-
-        Invariants enforced (everything :meth:`maj` guarantees by
-        construction, so a violation means a pass corrupted the
-        representation by mutating internals directly):
-
-        * terminals — node 0 and the PIs have no fanins; every gate does;
-        * acyclicity — each fanin references a strictly smaller node
-          index (the strict topological order of the node array);
-        * no dangling refs — fanin and output signals point at existing
-          nodes;
-        * fanin ordering — the stored triple is sorted;
-        * unit-rule residue — the three fanins sit on three distinct
-          nodes (``<aab>``/``<aa'b>`` must have been simplified away);
-        * inverter normalization — at most one complemented fanin
-          (self-duality pushes the rest to the output);
-        * strash consistency — every structural-hash entry agrees with
-          the node array.
-        """
-        n = len(self._fanins)
-        if n == 0 or self._fanins[0] is not None:
-            raise ValueError("node 0 must be the constant-0 terminal")
-        for node in range(1, self.num_pis + 1):
-            if self._fanins[node] is not None:
-                raise ValueError(f"PI node {node} has fanins")
-        for node in range(self.num_pis + 1, n):
-            fanin = self._fanins[node]
-            if fanin is None:
-                raise ValueError(f"gate node {node} has no fanins")
-            if len(fanin) != 3:
-                raise ValueError(f"gate node {node} has {len(fanin)} fanins, not 3")
-            for s in fanin:
-                if s < 0 or (s >> 1) >= n:
-                    raise ValueError(
-                        f"gate node {node} fanin signal {s} is dangling"
-                    )
-                if (s >> 1) >= node:
-                    raise ValueError(
-                        f"gate node {node} fanin signal {s} breaks topological "
-                        "order (cycle or forward reference)"
-                    )
-            if tuple(sorted(fanin)) != fanin:
-                raise ValueError(f"gate node {node} fanin triple {fanin} is unsorted")
-            if len({s >> 1 for s in fanin}) != 3:
-                raise ValueError(
-                    f"gate node {node} fanin triple {fanin} repeats a node "
-                    "(unit rule <aab>/<aa'b> not applied)"
-                )
-            if sum(s & 1 for s in fanin) > 1:
-                raise ValueError(
-                    f"gate node {node} fanin triple {fanin} has more than one "
-                    "inverter (self-duality normalization not applied)"
-                )
-        for fanin, node in self._strash.items():
-            if not self.is_gate(node) or self._fanins[node] != fanin:
-                raise ValueError(
-                    f"strash entry {fanin} -> {node} disagrees with the node array"
-                )
-        for i, s in enumerate(self._outputs):
-            if s < 0 or (s >> 1) >= n:
-                raise ValueError(f"output {i} signal {s} is dangling")
-        if len(self._outputs) != len(self._output_names):
-            raise ValueError("output/name list length mismatch")
-        if len(self._pi_names) != self.num_pis:
-            raise ValueError("PI/name list length mismatch")
-
-    # ------------------------------------------------------------------
-    # functional evaluation
-    # ------------------------------------------------------------------
-
-    def simulate(self) -> list[int]:
-        """Exhaustively simulate; returns one truth table per output.
-
-        Only feasible for small input counts (``num_pis <= 16``).
-        """
-        if self.num_pis > 16:
-            raise ValueError("exhaustive simulation limited to 16 inputs; use simulate_patterns")
-        n = self.num_pis
-        values = [0] * len(self._fanins)
-        for i in range(n):
-            values[1 + i] = tt_var(n, i)
-        mask = tt_mask(n)
-        return self._simulate_words(values, mask)
-
-    def simulate_patterns(self, patterns: Sequence[int], width: int) -> list[int]:
-        """Bit-parallel simulation of arbitrary input patterns.
-
-        *patterns* holds one word per PI; bit ``k`` of each word forms the
-        k-th test vector.  Returns one word per output.
-        """
-        if len(patterns) != self.num_pis:
-            raise ValueError(f"expected {self.num_pis} pattern words, got {len(patterns)}")
-        values = [0] * len(self._fanins)
-        for i, word in enumerate(patterns):
-            values[1 + i] = word
-        mask = (1 << width) - 1
-        return self._simulate_words(values, mask)
-
-    def _simulate_words(self, values: list[int], mask: int) -> list[int]:
-        for node in self.gates():
-            a, b, c = self.fanins(node)
-            va = values[a >> 1] ^ (mask if a & 1 else 0)
-            vb = values[b >> 1] ^ (mask if b & 1 else 0)
-            vc = values[c >> 1] ^ (mask if c & 1 else 0)
-            values[node] = tt_maj(va, vb, vc)
-        out = []
-        for s in self._outputs:
-            v = values[s >> 1] ^ (mask if s & 1 else 0)
-            out.append(v)
-        return out
-
-    def cut_function(self, root: int, leaves: Sequence[int]) -> int:
-        """Return the local function of *root* expressed over *leaves*.
-
-        *leaves* are node indices; leaf ``j`` becomes variable ``x_j`` of
-        the returned truth table.  Raises ``ValueError`` if the cone of
-        *root* is not covered by the leaves (the constant node is always
-        allowed, mirroring the cut definition in Sec. II-C).
-        """
-        k = len(leaves)
-        values: dict[int, int] = {0: 0}
-        for j, leaf in enumerate(leaves):
-            values[leaf] = tt_var(k, j)
-        mask = tt_mask(k)
-
-        # Explicit-stack evaluation: cut cones can be arbitrarily deep
-        # (chain-shaped networks), so no recursion here.
-        stack = [root]
-        while stack:
-            node = stack[-1]
-            if node in values:
-                stack.pop()
-                continue
-            if not self.is_gate(node):
-                raise ValueError(f"terminal node {node} reached but is not a cut leaf")
-            a, b, c = self.fanins(node)
-            missing = [s >> 1 for s in (a, b, c) if s >> 1 not in values]
-            if missing:
-                stack.extend(missing)
-                continue
-            va = values[a >> 1] ^ (mask if a & 1 else 0)
-            vb = values[b >> 1] ^ (mask if b & 1 else 0)
-            vc = values[c >> 1] ^ (mask if c & 1 else 0)
-            values[node] = tt_maj(va, vb, vc)
-            stack.pop()
-        return values[root]
-
-    # ------------------------------------------------------------------
-    # transformations
-    # ------------------------------------------------------------------
-
-    def cleanup(self) -> "Mig":
-        """Return a copy with dead gates removed (reachable cone only)."""
-        new = Mig(self.num_pis, name=self.name)
-        new._pi_names = list(self._pi_names)
-        mapping: dict[int, int] = {0: 0}
-        for i in range(1, self.num_pis + 1):
-            mapping[i] = make_signal(i)
-
-        order = self._reachable_gates()
-        for node in order:
-            a, b, c = self.fanins(node)
-            na = mapping[a >> 1] ^ (a & 1)
-            nb = mapping[b >> 1] ^ (b & 1)
-            nc = mapping[c >> 1] ^ (c & 1)
-            mapping[node] = new.maj(na, nb, nc)
-        for s, name in zip(self._outputs, self._output_names):
-            new.add_po(mapping[s >> 1] ^ (s & 1), name)
-        return new
-
-    def _reachable_gates(self) -> list[int]:
-        """Gate nodes reachable from the outputs, in topological order."""
-        reachable = bytearray(len(self._fanins))
-        stack = [signal_node(s) for s in self._outputs]
-        while stack:
-            node = stack.pop()
-            if reachable[node] or not self.is_gate(node):
-                continue
-            reachable[node] = 1
-            stack.extend(s >> 1 for s in self.fanins(node))
-        return [node for node in self.gates() if reachable[node]]
-
-    def clone(self) -> "Mig":
-        """Return a deep copy."""
-        new = Mig(name=self.name)
-        new._fanins = list(self._fanins)
-        new._pi_names = list(self._pi_names)
-        new._outputs = list(self._outputs)
-        new._output_names = list(self._output_names)
-        new._strash = dict(self._strash)
-        return new
 
     def rebuild(
         self,
@@ -473,8 +164,7 @@ class Mig:
         the new network; by default gates are copied verbatim.  Useful as
         the chassis for rewriting passes.
         """
-        new = Mig(self.num_pis, name=self.name)
-        new._pi_names = list(self._pi_names)
+        new = Mig.like(self)
         mapping: dict[int, int] = {0: 0}
         for i in range(1, self.num_pis + 1):
             mapping[i] = make_signal(i)
@@ -516,9 +206,3 @@ class Mig:
         a, b, c = self.fanins(node)
         inner = f"<{self.to_expression(a)}{self.to_expression(b)}{self.to_expression(c)}>"
         return ("!" if signal & 1 else "") + inner
-
-    def __repr__(self) -> str:
-        return (
-            f"Mig(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
-            f"gates={self.num_gates})"
-        )

@@ -253,6 +253,11 @@ def run_flow(
             continue
 
         report = verify_rewrite(current, nxt, mode=verify, budget=budget)
+        if metrics is not None:
+            # Kernel counters: verification simulation on both networks
+            # (the rewriters already folded in their construction counters).
+            metrics.record_network(current)
+            metrics.record_network(nxt)
         if report.refuted:
             if on_error == "raise":
                 raise VerificationFailed(
@@ -335,6 +340,9 @@ def optimize_until_convergence(
             break  # roll back to the last structurally valid network
 
         report = verify_rewrite(current, nxt, mode=verify, budget=budget)
+        if metrics is not None:
+            metrics.record_network(current)
+            metrics.record_network(nxt)
         if report.refuted:
             if on_error == "raise":
                 raise VerificationFailed(

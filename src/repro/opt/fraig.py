@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 
 from ..core.mig import Mig
-from ..core.truth_table import tt_maj
+from ..core.simengine import random_signature_words, simulate_all_nodes
 from ..runtime.budget import Budget
 from ..sat.solver import Solver
 
@@ -51,21 +51,22 @@ def fraig(
     mask = (1 << width) - 1
 
     # 1. Random-simulation signatures on the ORIGINAL network (mutable:
-    # counterexample words get appended during the sweep).
-    signatures: dict[int, list[int]] = {0: [0] * num_words}
-    for node in range(1, mig.num_pis + 1):
-        signatures[node] = [rng.getrandbits(width) for _ in range(num_words)]
-    for node in mig.gates():
-        a, b, c = mig.fanins(node)
-        sa, sb, sc = signatures[a >> 1], signatures[b >> 1], signatures[c >> 1]
-        signatures[node] = [
-            tt_maj(
-                sa[w] ^ (mask if a & 1 else 0),
-                sb[w] ^ (mask if b & 1 else 0),
-                sc[w] ^ (mask if c & 1 else 0),
-            )
-            for w in range(num_words)
-        ]
+    # counterexample words get appended during the sweep).  The node-major
+    # draws go through the shared engine helper (historical order, so the
+    # seed reproduces), and the per-word loops collapse into ONE
+    # bit-parallel pass of width num_words*width: bitwise gate operations
+    # never mix bit positions, so word w of a signature is bits
+    # [w*width, (w+1)*width) of the combined value.
+    pi_words = random_signature_words(rng, mig.num_pis, num_words, width)
+    combined = [
+        sum(word << (w * width) for w, word in enumerate(words))
+        for words in pi_words
+    ]
+    node_values = simulate_all_nodes(mig, combined, num_words * width)
+    signatures: dict[int, list[int]] = {
+        node: [(value >> (w * width)) & mask for w in range(num_words)]
+        for node, value in enumerate(node_values)
+    }
 
     def canonical(node: int) -> tuple[tuple[int, ...], bool]:
         sig = signatures[node]
@@ -120,16 +121,8 @@ def fraig(
             1 if solver.model_value(node_var[i]) else 0
             for i in range(1, mig.num_pis + 1)
         ]
-        values = {0: 0}
-        for i, bit in enumerate(pattern):
-            values[1 + i] = bit
-        for node in mig.gates():
-            a, b, c = mig.fanins(node)
-            va = values[a >> 1] ^ (a & 1)
-            vb = values[b >> 1] ^ (b & 1)
-            vc = values[c >> 1] ^ (c & 1)
-            values[node] = (va + vb + vc) >> 1
-        for node, value in values.items():
+        values = simulate_all_nodes(mig, pattern, 1, backend="bigint")
+        for node, value in enumerate(values):
             signatures[node].append(mask if value else 0)
         representative.clear()
         for old_node, canon_signal in processed:

@@ -210,4 +210,8 @@ def rewrite_bottom_up(
     for reason, count in rejected.items():
         metrics.cuts_rejected[reason] = metrics.cuts_rejected.get(reason, 0) + count
     with metrics.phase("cleanup"):
-        return new.cleanup()
+        result = new.cleanup()
+    # Kernel counters of the construction network and the cleaned copy.
+    metrics.record_network(new)
+    metrics.record_network(result)
+    return result

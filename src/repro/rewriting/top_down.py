@@ -168,4 +168,8 @@ def rewrite_top_down(
         for s, name in zip(mig.outputs, mig.output_names):
             new.add_po(opt(s >> 1) ^ (s & 1), name)
     with metrics.phase("cleanup"):
-        return new.cleanup()
+        result = new.cleanup()
+    # Kernel counters of the construction network and the cleaned copy.
+    metrics.record_network(new)
+    metrics.record_network(result)
+    return result

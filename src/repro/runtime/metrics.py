@@ -79,6 +79,12 @@ class PassMetrics:
     sat_decisions: int = 0
     sat_restarts: int = 0
     sat_learned: int = 0
+    #: gate constructions answered by the kernel's structural-hash table
+    kernel_strash_hits: int = 0
+    #: gate constructions simplified away by a kernel facade unit rule
+    kernel_unit_rules: int = 0
+    #: 64-bit gate-words evaluated by the shared simulation engine
+    sim_words: int = 0
     #: wall-clock seconds per phase ("enumerate", "rewrite", "cleanup", ...)
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -95,6 +101,20 @@ class PassMetrics:
         self.sat_decisions += result.decisions
         self.sat_restarts += result.restarts
         self.sat_learned += result.learned
+
+    def record_network(self, net) -> None:
+        """Accumulate (and reset) the kernel counters of one network.
+
+        Call once per network the pass constructed or simulated; the
+        counters are zeroed so a network observed by several phases is
+        never double-counted.
+        """
+        self.kernel_strash_hits += net.strash_hits
+        self.kernel_unit_rules += net.unit_rules
+        self.sim_words += net.sim_words
+        net.strash_hits = 0
+        net.unit_rules = 0
+        net.sim_words = 0
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -124,6 +144,9 @@ class PassMetrics:
         self.sat_decisions += other.sat_decisions
         self.sat_restarts += other.sat_restarts
         self.sat_learned += other.sat_learned
+        self.kernel_strash_hits += other.kernel_strash_hits
+        self.kernel_unit_rules += other.kernel_unit_rules
+        self.sim_words += other.sim_words
         for reason, count in other.cuts_rejected.items():
             self.cuts_rejected[reason] = self.cuts_rejected.get(reason, 0) + count
         for name, seconds in other.phase_seconds.items():
@@ -186,6 +209,9 @@ class PassMetrics:
             "sat_decisions": self.sat_decisions,
             "sat_restarts": self.sat_restarts,
             "sat_learned": self.sat_learned,
+            "kernel_strash_hits": self.kernel_strash_hits,
+            "kernel_unit_rules": self.kernel_unit_rules,
+            "sim_words": self.sim_words,
             "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
         }
 
@@ -210,6 +236,9 @@ class PassMetrics:
             "sat_decisions",
             "sat_restarts",
             "sat_learned",
+            "kernel_strash_hits",
+            "kernel_unit_rules",
+            "sim_words",
         ):
             setattr(metrics, name, int(data.get(name, 0)))
         metrics.cuts_rejected = {
