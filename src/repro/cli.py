@@ -137,6 +137,8 @@ def _batch_specs(args: argparse.Namespace) -> list:
 
 
 def _run_batch_command(args: argparse.Namespace) -> int:
+    import signal
+
     from .runtime import faults
     from .runtime.supervisor import Supervisor
 
@@ -154,15 +156,40 @@ def _run_batch_command(args: argparse.Namespace) -> int:
         backoff_base=args.backoff,
         verbose=True,
     )
+
+    # Ctrl-C / SIGTERM drain instead of tearing down: the scheduling loop
+    # stops launching, SIGTERMs live workers (SIGKILL after --grace), and
+    # journals every unfinished job resumable — `--resume` continues it.
+    def _drain_signal(signum, frame):  # noqa: ARG001 - signal API
+        if supervisor.shutdown_requested:
+            # Second signal: the user really wants out now.
+            raise KeyboardInterrupt
+        print(f"\nbatch: caught {signal.Signals(signum).name}, draining "
+              "(signal again to abort hard)...", flush=True)
+        supervisor.request_shutdown()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _drain_signal)
+        except (ValueError, OSError):
+            pass
     try:
         report = supervisor.run(specs, resume=args.resume)
     except FileExistsError as exc:
         raise SystemExit(str(exc))
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
     print(
         f"batch: {report.done}/{report.total} done, "
         f"{report.quarantined} quarantined, {report.retries} retries, "
         f"{report.adopted} adopted, {report.workers_used} workers used, "
         f"{report.wall_seconds:.2f}s"
+        + (" [interrupted]" if report.interrupted else "")
     )
     for summary in report.jobs:
         line = f"  {summary['job_id']:24} {summary['state']}"
@@ -176,7 +203,31 @@ def _run_batch_command(args: argparse.Namespace) -> int:
     if args.report:
         _dump_metrics(args.report, report.to_dict())
     print(f"journal: {supervisor.journal_path}")
+    if report.interrupted:
+        print(f"interrupted: resume with "
+              f"migopt batch --workdir {args.workdir} --resume")
+        return 130
     return 0 if report.quarantined == 0 and report.done == report.total else 1
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    from .runtime.serve import run_server
+
+    return run_server(
+        args.workdir,
+        host=args.host,
+        port=args.port,
+        num_workers=args.jobs,
+        queue_limit=args.queue_limit,
+        cache_max_bytes=args.cache_max_bytes,
+        max_attempts=args.max_attempts,
+        grace=args.grace,
+        default_time_limit=args.time_limit,
+        default_verify=args.verify,
+        mem_limit_mb=args.mem_limit,
+        drain_grace=args.drain_grace,
+        verbose=args.verbose,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -319,6 +370,63 @@ def main(argv: list[str] | None = None) -> int:
         help="also dump the batch report JSON to PATH ('-' for stdout)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="optimization-as-a-service HTTP daemon with a crash-safe, "
+        "content-addressed result cache (POST /jobs, GET /jobs/<id>)",
+    )
+    p_serve.add_argument(
+        "--workdir", required=True, metavar="DIR",
+        help="daemon state directory (result cache, job journals, stats)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8731,
+                         help="bind port; 0 picks a free one (default: 8731)")
+    p_serve.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="concurrent optimization jobs, each in its own supervised "
+        "worker subprocess (default: 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="queued-job bound; requests beyond it get HTTP 429 (default: 16)",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="result-cache size bound; least-recently-used entries are "
+        "evicted past it (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock budget for requests without a "
+        "'deadline' of their own",
+    )
+    p_serve.add_argument(
+        "--verify", default="sim", choices=["off", "sim", "cec"],
+        help="default per-step verification policy (default: sim); "
+        "'off' results are never cached",
+    )
+    p_serve.add_argument(
+        "--mem-limit", type=int, default=None, metavar="MB",
+        help="per-worker address-space rlimit in MiB",
+    )
+    p_serve.add_argument(
+        "--max-attempts", type=int, default=2, metavar="N",
+        help="worker attempts per request before it fails (default: 2)",
+    )
+    p_serve.add_argument(
+        "--grace", type=float, default=2.0, metavar="SECONDS",
+        help="worker SIGTERM-to-SIGKILL escalation window (default: 2.0)",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGTERM, how long running jobs may finish before being "
+        "journaled resumable (default: 30)",
+    )
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log requests and recovery decisions")
+
     p_exact = sub.add_parser("exact", help="exact synthesis of a truth table")
     p_exact.add_argument("--tt", required=True, help="truth table, e.g. 0x1668")
     p_exact.add_argument("--vars", type=int, default=4)
@@ -449,6 +557,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "batch":
         return _run_batch_command(args)
+
+    if args.command == "serve":
+        return _run_serve_command(args)
 
     if args.command == "exact":
         spec = int(args.tt, 16)

@@ -32,6 +32,7 @@ the standard library) — enforced by ``tools/check_layers.py``.
 
 from __future__ import annotations
 
+import hashlib
 from itertools import chain
 from typing import Iterator
 
@@ -438,6 +439,66 @@ class Network:
             return 0
         level = self.levels()
         return max(level[s >> 1] for s in self._outputs)
+
+    # ------------------------------------------------------------------
+    # canonical structural hash
+    # ------------------------------------------------------------------
+
+    def structural_hash(self) -> str:
+        """Canonical hash of the reachable structure (hex SHA-256).
+
+        Two networks hash equal exactly when their output cones are
+        isomorphic as DAGs of symmetric gates over positional inputs.
+        The hash is therefore invariant under
+
+        * **node insertion order** — each gate's digest is built from the
+          *sorted multiset* of its fanin ``(digest, complement)`` pairs
+          (majority and AND are fully symmetric, so operand order is
+          representation, not meaning), never from node indices;
+        * **names** — PI, output, and network names are not hashed; PIs
+          enter by position, outputs by position;
+        * **dead nodes** — only the cones of the outputs are traversed,
+          so ``cleanup()`` does not change the hash.
+
+        It *does* distinguish gate semantics (the arity is hashed), the
+        PI count, and the output order/polarity — everything that changes
+        what function the network computes or how callers address it.
+        Structurally different implementations of the same function hash
+        differently (this is a structural hash, not a functional one);
+        equal hashes imply functional equivalence, which is what the
+        serving tier's result cache needs: a hash collision would serve a
+        wrong result, an unshared equivalence merely misses the cache.
+        """
+        fanins = self._fanins
+        digests: dict[int, bytes] = {}
+        # Iterative post-order over the output cones (explicit stack; the
+        # rewriting scalability tests run 50k-deep chains through here).
+        stack: list[int] = [s >> 1 for s in self._outputs]
+        while stack:
+            node = stack.pop()
+            if node in digests:
+                continue
+            fanin = fanins[node]
+            if fanin is None:
+                # Terminals: constant 0, or a PI addressed by position.
+                digests[node] = (
+                    b"C" if node == 0 else b"P" + (node - 1).to_bytes(4, "little")
+                )
+                continue
+            missing = [s >> 1 for s in fanin if (s >> 1) not in digests]
+            if missing:
+                stack.append(node)
+                stack.extend(missing)
+                continue
+            parts = sorted(digests[s >> 1] + bytes([s & 1]) for s in fanin)
+            digests[node] = hashlib.sha256(b"G" + b"".join(parts)).digest()
+        h = hashlib.sha256()
+        h.update(b"N")
+        h.update(bytes([self.arity]))
+        h.update(self.num_pis.to_bytes(4, "little"))
+        for s in self._outputs:
+            h.update(digests[s >> 1] + bytes([s & 1]))
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # structural validation

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from ..core.mig import Mig, signal_not
 from ..database.npn_db import NpnDatabase
@@ -164,6 +165,7 @@ def run_flow(
     verify: str = "off",
     on_error: str = "raise",
     cut_limit: int | None = None,
+    on_step: Callable[[FlowStepStats], None] | None = None,
 ) -> tuple[Mig, list[FlowStepStats]]:
     """Apply *script* steps in order; returns the final MIG and per-step stats.
 
@@ -179,7 +181,10 @@ def run_flow(
     :class:`~repro.runtime.errors.VerificationFailed` on a detected
     miscompile.  *cut_limit* overrides the rewriters' per-node cut cap
     for every functional-hashing step (the batch runtime's degradation
-    ladder shrinks it on retries).
+    ladder shrinks it on retries).  *on_step* is called with each step's
+    :class:`FlowStepStats` as soon as it concludes — the progress seam
+    the serving tier streams from; callback failures are swallowed so a
+    broken observer can never fail the optimization it observes.
     """
     if on_error not in _ON_ERROR_POLICIES:
         raise ValueError(
@@ -212,6 +217,11 @@ def run_flow(
             metrics=metrics,
         )
         history.append(stats)
+        if on_step is not None:
+            try:
+                on_step(stats)
+            except Exception:  # noqa: BLE001 - observer must not break the flow
+                pass
         if verbose:
             flag = "" if status == "ok" else f" [{status}]"
             print(

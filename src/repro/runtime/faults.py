@@ -36,6 +36,16 @@ Registered fault points (grep for ``fault_active`` to find the hooks):
     deadline, modeling a worker stuck in native code; only the
     supervisor's SIGKILL escalation ends it.  Spawn-time probed like
     ``worker.crash``.
+``cache.corrupt``
+    :meth:`repro.runtime.cache.ResultCache.put` writes truncated garbage
+    in place of the entry (atomically, so this models bad bytes — a
+    partial upload, bit rot — not a torn write).  The next ``get`` must
+    detect, quarantine, and miss.
+``serve.crash``
+    :meth:`repro.runtime.serve.OptimizationService.submit` kills the
+    daemon with ``os._exit`` right after persisting an accepted request,
+    modeling a crash between acceptance and execution; the restarted
+    daemon must recover the job from disk.
 
 Each armed fault fires ``times`` times (default: unlimited within the
 ``with`` block) and counts its activations for assertions.

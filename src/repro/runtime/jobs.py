@@ -93,6 +93,9 @@ class JobSpec:
     db: str | None = None
     #: where the worker writes the optimized network (BLIF), if anywhere
     output: str | None = None
+    #: where the worker appends per-step progress JSONL lines while the
+    #: job runs (the serving tier polls this); None = no streaming
+    progress: str | None = None
     #: mode-specific extra data (JSON-serializable dict); used by modes
     #: that do not operate on a network, e.g. "db-improve"
     payload: dict | None = None
@@ -112,6 +115,7 @@ class JobSpec:
             "mem_limit_mb": self.mem_limit_mb,
             "db": self.db,
             "output": self.output,
+            "progress": self.progress,
             "payload": self.payload,
         }
         return data
@@ -133,6 +137,7 @@ class JobSpec:
             mem_limit_mb=_opt_int(data.get("mem_limit_mb")),
             db=_opt_str(data.get("db")),
             output=_opt_str(data.get("output")),
+            progress=_opt_str(data.get("progress")),
             payload=dict(payload) if payload is not None else None,
         )
 
@@ -430,6 +435,9 @@ class BatchReport:
     #: jobs whose result was adopted from a previous run on resume
     adopted: int = 0
     wall_seconds: float = 0.0
+    #: True when the run was stopped early by a shutdown request (the
+    #: journal is resumable; unfinished jobs are pending, not lost)
+    interrupted: bool = False
     #: peak number of simultaneously live workers
     max_concurrent: int = 0
     #: worker slot index -> number of jobs that slot completed
@@ -453,6 +461,7 @@ class BatchReport:
             "retries": self.retries,
             "adopted": self.adopted,
             "wall_seconds": round(self.wall_seconds, 6),
+            "interrupted": self.interrupted,
             "max_concurrent": self.max_concurrent,
             "workers_used": self.workers_used,
             "jobs_per_slot": {str(k): v for k, v in self.jobs_per_slot.items()},

@@ -1,0 +1,944 @@
+"""``migopt serve`` — hardened optimization-as-a-service on the batch runtime.
+
+A long-lived, stdlib-only HTTP/JSON daemon that turns the supervised
+batch runtime (:mod:`repro.runtime.supervisor`) into a serving tier:
+requests carry a network (inline BLIF/bench/AIGER-ASCII upload or a
+generator spec) plus flow parameters, each request becomes a
+:class:`~repro.runtime.jobs.JobSpec` run under its own per-job
+supervisor (process isolation, watchdog, retry-with-degradation,
+crash-safe journal), and results are memoized in a content-addressed
+:class:`~repro.runtime.cache.ResultCache` keyed by the canonical
+structural hash of (network, flow, budgets) — the paper's functional
+hashing premise applied to whole requests, so duplicate-laden traffic
+is absorbed by disk lookups instead of re-optimizations.
+
+API (all JSON)::
+
+    POST /jobs          submit; 200 done-from-cache, 202 accepted,
+                        202 coalesced onto an identical in-flight job,
+                        429 queue full, 503 draining, 400/413 bad input
+    GET  /jobs/<id>     poll: state, per-step progress, result
+    GET  /stats         serve + cache counters (hits, evictions, ...)
+    GET  /healthz       process liveness (always 200 while alive)
+    GET  /readyz        admission readiness (503 while draining)
+
+Robustness properties, each drilled by tests or the CI smoke:
+
+* **admission control** — a bounded queue; requests past it get ``429``
+  with a ``Retry-After`` hint instead of unbounded memory growth;
+* **deadlines** — a request deadline becomes the worker's in-process
+  :class:`~repro.runtime.budget.Budget` (polite partial results) *and*
+  the supervisor's SIGTERM→SIGKILL watchdog (impolite workers die); a
+  request whose deadline lapses while queued gets a typed ``timeout``
+  response, never a hung connection;
+* **crash safety** — every accepted request is persisted atomically
+  before it is acknowledged, every job state transition lives in the
+  PR 3 job journal, and the cache follows the artifact rules, so a
+  ``kill -9`` at any instant loses at most work in flight — never
+  completed results, and never serves torn bytes.  On restart the
+  daemon recovers: finished journals are adopted (exactly-once, no
+  re-run), interrupted jobs re-enter the queue;
+* **graceful drain** — SIGTERM stops admission (``/readyz`` flips to
+  503), running jobs finish (or are journaled resumable after the drain
+  grace), queued jobs stay journaled for the next start, a final stats
+  snapshot is flushed, and the process exits 0;
+* **chaos hooks** — ``serve.crash`` (die right after accepting a
+  request) and ``cache.corrupt`` (bad bytes reach the cache) are
+  ``REPRO_FAULTS``-injectable fault points for drills.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import queue
+import signal
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from .artifacts import atomic_write_text, quarantine
+from .cache import ResultCache, request_key
+from .faults import arm_from_env, fault_active
+from .jobs import JobJournal, JobSpec
+from .supervisor import Supervisor
+
+__all__ = ["OptimizationService", "ServeDaemon", "run_server"]
+
+#: request body cap — a network upload past this is a 413, not an OOM
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: non-variant flow steps accepted in scripts (variants come from the
+#: rewriting engine at validation time)
+_PLAIN_STEPS = ("depth", "depth-fast", "strash", "fraig")
+
+#: exit code of the injected serve.crash fault
+CRASH_EXIT_CODE = 86
+
+_STOP = object()
+
+
+class BadRequest(ValueError):
+    """A request the client must fix (maps to HTTP 400)."""
+
+
+def _load_request_network(network) -> "object":
+    """Parse the request's network into an in-memory MIG.
+
+    Accepted forms: ``{"generate": name[, "width": w]}`` for the
+    built-in EPFL generators, or an inline text upload under exactly one
+    of ``"blif"``, ``"bench"``, ``"aag"`` (ASCII AIGER; converted
+    through the AIG facade).  Parsing happens in the daemon because the
+    canonical structural hash — the cache key — must be computed before
+    any work is scheduled.
+    """
+    if not isinstance(network, dict):
+        raise BadRequest("'network' must be an object")
+    kinds = [k for k in ("generate", "blif", "bench", "aag") if k in network]
+    if len(kinds) != 1:
+        raise BadRequest(
+            "network needs exactly one of 'generate', 'blif', 'bench', 'aag'"
+        )
+    kind = kinds[0]
+    try:
+        if kind == "generate":
+            from ..generators.epfl import SUITE_SPECS
+
+            name = str(network["generate"])
+            if name not in SUITE_SPECS:
+                raise BadRequest(
+                    f"unknown generator {name!r}; choose from {sorted(SUITE_SPECS)}"
+                )
+            _, generator, _, scaled_kwargs = SUITE_SPECS[name]
+            kwargs = dict(scaled_kwargs)
+            if network.get("width") is not None:
+                kwargs = {"width": int(network["width"])}
+            return generator(**kwargs)
+        text = network[kind]
+        if not isinstance(text, str):
+            raise BadRequest(f"'{kind}' upload must be a string")
+        if kind == "blif":
+            from ..io.blif import read_blif
+
+            return read_blif(io.StringIO(text))
+        if kind == "bench":
+            from ..io.bench import read_bench
+
+            return read_bench(io.StringIO(text))
+        from ..aig.convert import aig_to_mig
+        from ..io.aiger import read_aag
+
+        return aig_to_mig(read_aag(io.StringIO(text)))
+    except BadRequest:
+        raise
+    except Exception as exc:  # noqa: BLE001 - client input boundary
+        raise BadRequest(f"could not parse {kind} network: {exc}") from exc
+
+
+def _validate_script(script) -> tuple[str, ...]:
+    from ..rewriting.engine import VARIANTS
+
+    if isinstance(script, str):
+        script = [s for s in script.split(",") if s]
+    if not isinstance(script, (list, tuple)) or not script:
+        raise BadRequest("'script' must be a non-empty list of step names")
+    steps = []
+    for step in script:
+        name = str(step).strip()
+        if name.upper() not in VARIANTS and name.lower() not in _PLAIN_STEPS:
+            raise BadRequest(
+                f"unknown flow step {name!r}; variants {list(VARIANTS)} "
+                f"or {list(_PLAIN_STEPS)}"
+            )
+        steps.append(name)
+    return tuple(steps)
+
+
+def _opt_number(request: dict, key: str, cast, minimum=None):
+    value = request.get(key)
+    if value is None:
+        return None
+    try:
+        value = cast(value)
+    except (TypeError, ValueError):
+        raise BadRequest(f"'{key}' must be a number") from None
+    if minimum is not None and value < minimum:
+        raise BadRequest(f"'{key}' must be >= {minimum}")
+    return value
+
+
+@dataclass
+class ServeJob:
+    """In-memory record of one submitted request."""
+
+    job_id: str
+    key: str
+    spec: JobSpec
+    workdir: Path
+    submitted_at: float
+    deadline_at: float | None = None
+    #: queued | running | done | failed | timeout
+    state: str = "queued"
+    cached: bool = False
+    resume: bool = False
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    #: job ids coalesced onto this one (same cache key, still in flight)
+    coalesced: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class OptimizationService:
+    """The daemon's engine: admission, scheduling, caching, recovery.
+
+    Separable from the HTTP layer so tests can drive it directly.  The
+    on-disk layout under *workdir*::
+
+        cache/objects/<key>.json      the content-addressed result cache
+        jobs/<job_id>/request.json    the accepted request (atomic write)
+        jobs/<job_id>/input.blif      materialized upload, when any
+        jobs/<job_id>/progress.jsonl  per-step progress from the worker
+        jobs/<job_id>/super/          the per-job supervisor workdir
+                                      (journal.jsonl, specs/, results/)
+        stats.json                    final snapshot flushed on drain
+    """
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        num_workers: int = 2,
+        queue_limit: int = 16,
+        cache_max_bytes: int | None = None,
+        max_attempts: int = 2,
+        grace: float = 2.0,
+        default_time_limit: float | None = None,
+        default_verify: str = "sim",
+        mem_limit_mb: int | None = None,
+        verbose: bool = False,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if default_verify not in ("off", "sim", "cec"):
+            raise ValueError("default_verify must be off/sim/cec")
+        self.workdir = Path(workdir)
+        self.jobs_dir = self.workdir / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self.workdir / "cache", max_bytes=cache_max_bytes)
+        self.num_workers = num_workers
+        self.queue_limit = queue_limit
+        self.max_attempts = max_attempts
+        self.grace = grace
+        self.default_time_limit = default_time_limit
+        self.default_verify = default_verify
+        self.mem_limit_mb = mem_limit_mb
+        self.verbose = verbose
+
+        self._queue: "queue.Queue" = queue.Queue()
+        self._queued = 0
+        self._running = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self.jobs: dict[str, ServeJob] = {}
+        self._by_key: dict[str, str] = {}
+        self._active_supervisors: dict[str, Supervisor] = {}
+        self.draining = threading.Event()
+        self.started_at = time.time()
+        self.counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "timeout": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "rejected": 0,
+            "recovered": 0,
+            "adopted": 0,
+        }
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Recover persisted jobs, then start the runner pool."""
+        self._recover()
+        for i in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._runner_loop, name=f"serve-runner-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def close(self) -> None:
+        """Stop the runner pool and flush the final stats snapshot."""
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        try:
+            atomic_write_text(
+                self.workdir / "stats.json",
+                json.dumps(self.stats(), sort_keys=True) + "\n",
+            )
+        except OSError:
+            pass
+
+    # -- recovery ---------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild job state from disk after a restart (exactly-once).
+
+        Each persisted ``request.json`` is replayed against its job's
+        supervisor journal: a terminal journal reinstates the outcome
+        without re-running anything (and back-fills the cache if the
+        crash hit between completion and the cache write); anything else
+        re-enters the queue with ``resume=True`` so the supervisor's own
+        resume logic — including adopting an already-written result
+        artifact — guarantees the job completes exactly once.
+        """
+        if not self.jobs_dir.exists():
+            return
+        for jobdir in sorted(self.jobs_dir.iterdir()):
+            req_path = jobdir / "request.json"
+            if not jobdir.is_dir() or not req_path.exists():
+                continue
+            try:
+                with open(req_path, "r", encoding="utf-8") as fp:
+                    req = json.load(fp)
+                job_id = str(req["job_id"])
+                key = str(req["key"])
+                spec = JobSpec.from_dict(req["spec"])
+            except (ValueError, KeyError, TypeError, OSError):
+                quarantine(req_path)
+                continue
+            job = ServeJob(
+                job_id=job_id,
+                key=key,
+                spec=spec,
+                workdir=jobdir,
+                submitted_at=float(req.get("submitted_at", time.time())),
+                deadline_at=req.get("deadline_at"),
+            )
+            replay_record = None
+            journal_path = jobdir / "super" / "journal.jsonl"
+            if journal_path.exists():
+                replay = JobJournal.replay(journal_path)
+                replay_record = replay.records.get(job_id)
+            if replay_record is not None and replay_record.state == "done":
+                self._finalize_done(job, replay_record.result or {}, recovered=True)
+            elif replay_record is not None and replay_record.state == "quarantined":
+                self._finalize_failed(
+                    job, replay_record.last_error or "quarantined", recovered=True
+                )
+            else:
+                job.resume = journal_path.exists()
+                with self._lock:
+                    self.jobs[job_id] = job
+                    self._by_key.setdefault(key, job_id)
+                    self._queued += 1
+                    self.counters["recovered"] += 1
+                self._queue.put(job)
+            if self.verbose:
+                print(f"[serve] recovered {job_id} -> {job.state}")
+
+    # -- admission --------------------------------------------------------
+
+    def submit(self, request: dict) -> tuple[int, dict]:
+        """Admit one request; returns ``(http_status, response_payload)``."""
+        if self.draining.is_set():
+            return 503, {"error": "draining", "detail": "daemon is shutting down"}
+        if not isinstance(request, dict):
+            return 400, {"error": "bad-request", "detail": "body must be a JSON object"}
+        try:
+            mig = _load_request_network(request.get("network"))
+            spec_fields = self._spec_fields(request)
+        except BadRequest as exc:
+            return 400, {"error": "bad-request", "detail": str(exc)}
+
+        structural = mig.structural_hash()
+        probe = JobSpec(job_id="probe", network={}, **spec_fields)
+        key = request_key(structural, probe)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            job_id = f"{key[:12]}-hit-{uuid.uuid4().hex[:8]}"
+            job = ServeJob(
+                job_id=job_id,
+                key=key,
+                spec=probe,
+                workdir=self.jobs_dir / job_id,
+                submitted_at=time.time(),
+                state="done",
+                cached=True,
+                result=cached,
+                finished_at=time.time(),
+            )
+            with self._lock:
+                self.jobs[job_id] = job
+                self.counters["submitted"] += 1
+                self.counters["cache_hits"] += 1
+            return 200, {
+                "job_id": job_id,
+                "status": "done",
+                "cached": True,
+                "cache_key": key,
+                "result": cached,
+            }
+
+        with self._lock:
+            active_id = self._by_key.get(key)
+            if active_id is not None:
+                active = self.jobs.get(active_id)
+                if active is not None and active.state in ("queued", "running"):
+                    active.coalesced += 1
+                    self.counters["submitted"] += 1
+                    self.counters["coalesced"] += 1
+                    return 202, {
+                        "job_id": active_id,
+                        "status": active.state,
+                        "coalesced": True,
+                        "cache_key": key,
+                        "poll": f"/jobs/{active_id}",
+                    }
+            if self._queued >= self.queue_limit:
+                self.counters["rejected"] += 1
+                return 429, {
+                    "error": "queue-full",
+                    "detail": f"{self._queued} jobs already queued",
+                    "retry_after": 1,
+                }
+
+        job_id = f"{key[:12]}-{uuid.uuid4().hex[:8]}"
+        jobdir = self.jobs_dir / job_id
+        jobdir.mkdir(parents=True)
+        network = request["network"]
+        locator = dict(network)
+        for kind, suffix in (("blif", ".blif"), ("bench", ".bench")):
+            if kind in network:
+                upload = jobdir / f"input{suffix}"
+                atomic_write_text(upload, network[kind])
+                locator = {kind: str(upload)}
+        if "aag" in network:
+            # The worker reads BLIF/bench only; persist the parsed MIG.
+            from ..io.blif import write_blif
+
+            buf = io.StringIO()
+            write_blif(mig, buf)
+            upload = jobdir / "input.blif"
+            atomic_write_text(upload, buf.getvalue())
+            locator = {"blif": str(upload)}
+
+        now = time.time()
+        deadline = _opt_number(request, "deadline", float, minimum=0.0)
+        spec = JobSpec(
+            job_id=job_id,
+            network=locator,
+            output=str(jobdir / "result.blif"),
+            progress=str(jobdir / "progress.jsonl"),
+            **spec_fields,
+        )
+        job = ServeJob(
+            job_id=job_id,
+            key=key,
+            spec=spec,
+            workdir=jobdir,
+            submitted_at=now,
+            deadline_at=None if deadline is None else now + deadline,
+        )
+        # Persist before acknowledging: an accepted request survives any
+        # crash from this line on (the recovery scan re-queues it).
+        atomic_write_text(
+            jobdir / "request.json",
+            json.dumps(
+                {
+                    "job_id": job_id,
+                    "key": key,
+                    "structural_hash": structural,
+                    "spec": spec.to_dict(),
+                    "submitted_at": now,
+                    "deadline_at": job.deadline_at,
+                },
+                sort_keys=True,
+            )
+            + "\n",
+        )
+        if fault_active("serve.crash"):
+            # Chaos hook: die between accepting a request and running it.
+            os._exit(CRASH_EXIT_CODE)
+        with self._lock:
+            self.jobs[job_id] = job
+            self._by_key[key] = job_id
+            self._queued += 1
+            self.counters["submitted"] += 1
+        self._queue.put(job)
+        return 202, {
+            "job_id": job_id,
+            "status": "queued",
+            "cache_key": key,
+            "poll": f"/jobs/{job_id}",
+        }
+
+    def _spec_fields(self, request: dict) -> dict:
+        mode = str(request.get("mode", "flow"))
+        if mode not in ("flow", "converge"):
+            raise BadRequest("'mode' must be 'flow' or 'converge'")
+        verify = str(request.get("verify", self.default_verify))
+        if verify not in ("off", "sim", "cec"):
+            raise BadRequest("'verify' must be 'off', 'sim', or 'cec'")
+        script = _validate_script(request.get("script", ["BF"]))
+        variant = str(request.get("variant", "BF"))
+        if mode == "converge":
+            _validate_script([variant])
+        deadline = _opt_number(request, "deadline", float, minimum=0.0)
+        time_limit = _opt_number(request, "time_limit", float, minimum=0.0)
+        if deadline is not None:
+            time_limit = deadline if time_limit is None else min(time_limit, deadline)
+        if time_limit is None:
+            time_limit = self.default_time_limit
+        return {
+            "script": script,
+            "mode": mode,
+            "variant": variant,
+            "max_passes": _opt_number(request, "max_passes", int, minimum=1) or 10,
+            "verify": verify,
+            "time_limit": time_limit,
+            "conflict_limit": _opt_number(request, "conflict_limit", int, minimum=1),
+            "cut_limit": _opt_number(request, "cut_limit", int, minimum=2),
+            "mem_limit_mb": self.mem_limit_mb,
+        }
+
+    # -- running ----------------------------------------------------------
+
+    def _runner_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            try:
+                self._run_job(job)
+            except Exception as exc:  # noqa: BLE001 - runner must survive
+                self._finalize_failed(job, f"runner error: {type(exc).__name__}: {exc}")
+
+    def _run_job(self, job: ServeJob) -> None:
+        with self._lock:
+            self._queued = max(0, self._queued - 1)
+            if job.state != "queued":
+                # Already finalized (e.g. a poll noticed the deadline
+                # lapsed) — never resurrect a terminal job.
+                return
+            if self.draining.is_set():
+                # Leave the job persisted and queued on disk; the next
+                # start recovers it.  Drain means "stop working", not
+                # "forget accepted work".
+                return
+            if job.deadline_at is not None and time.time() >= job.deadline_at:
+                pass  # finalized below, outside the lock
+            else:
+                job.state = "running"
+                job.started_at = time.time()
+                self._running += 1
+        if job.state != "running":
+            self._finalize_timeout(job, "deadline expired while queued")
+            return
+
+        supervisor = Supervisor(
+            job.workdir / "super",
+            num_workers=1,
+            grace=self.grace,
+            max_attempts=self.max_attempts,
+            backoff_base=0.1,
+            default_time_limit=self.default_time_limit,
+        )
+        with self._lock:
+            self._active_supervisors[job.job_id] = supervisor
+        try:
+            report = supervisor.run([job.spec], resume=job.resume)
+        except FileExistsError:
+            report = supervisor.run([job.spec], resume=True)
+        finally:
+            with self._lock:
+                self._active_supervisors.pop(job.job_id, None)
+                self._running = max(0, self._running - 1)
+                self._idle.notify_all()
+
+        summary = next(
+            (entry for entry in report.jobs if entry.get("job_id") == job.job_id),
+            None,
+        )
+        if report.interrupted and (summary is None or summary.get("state") != "done"):
+            # Drained mid-run: the journal holds a resumable state.
+            with self._lock:
+                job.state = "queued"
+                job.resume = True
+            return
+        if summary is not None and summary.get("state") == "done":
+            self._finalize_done(job, summary)
+            return
+        error = (summary or {}).get("error") or "job did not complete"
+        overdue = job.deadline_at is not None and time.time() >= job.deadline_at
+        if "watchdog" in str(error) or overdue:
+            self._finalize_timeout(job, str(error))
+        else:
+            self._finalize_failed(job, str(error))
+
+    # -- outcomes ---------------------------------------------------------
+
+    def _result_payload(self, job: ServeJob, summary: dict) -> dict:
+        result = {
+            key: summary[key]
+            for key in (
+                "size_before", "size_after", "depth_before", "depth_after",
+                "runtime", "verify", "steps", "metrics",
+            )
+            if key in summary
+        }
+        result["cache_key"] = job.key
+        blif_path = job.workdir / "result.blif"
+        if blif_path.exists():
+            try:
+                result["blif"] = blif_path.read_text(encoding="utf-8")
+            except OSError:
+                pass
+        return result
+
+    @staticmethod
+    def _fully_optimized(result: dict) -> bool:
+        """Only complete, per-step-verified results are cache-worthy.
+
+        A partial result (a step timed out, failed, or was rolled back)
+        is still correct — verification guarantees equivalence — but
+        caching it would pin a degraded answer under a key that promises
+        the full flow, so it is served once and not memoized.
+        """
+        steps = result.get("steps") or []
+        return bool(steps) and all(s.get("status") == "ok" for s in steps)
+
+    def _finalize_done(
+        self, job: ServeJob, summary: dict, recovered: bool = False
+    ) -> None:
+        result = self._result_payload(job, summary)
+        with self._lock:
+            job.state = "done"
+            job.result = result
+            job.finished_at = time.time()
+            self.jobs[job.job_id] = job
+            if self._by_key.get(job.key) == job.job_id:
+                del self._by_key[job.key]
+            self.counters["completed"] += 1
+            if recovered:
+                self.counters["adopted"] += 1
+            self._idle.notify_all()
+        if job.spec.verify != "off" and self._fully_optimized(result):
+            if self.cache.get(job.key) is None:
+                self.cache.put(job.key, result)
+
+    def _finalize_failed(
+        self, job: ServeJob, error: str, recovered: bool = False
+    ) -> None:
+        with self._lock:
+            job.state = "failed"
+            job.error = error
+            job.finished_at = time.time()
+            self.jobs[job.job_id] = job
+            if self._by_key.get(job.key) == job.job_id:
+                del self._by_key[job.key]
+            self.counters["failed"] += 1
+            self._idle.notify_all()
+
+    def _finalize_timeout(self, job: ServeJob, error: str) -> None:
+        with self._lock:
+            job.state = "timeout"
+            job.error = error
+            job.finished_at = time.time()
+            if self._by_key.get(job.key) == job.job_id:
+                del self._by_key[job.key]
+            self.counters["timeout"] += 1
+            self._idle.notify_all()
+
+    # -- polling ----------------------------------------------------------
+
+    def job_status(self, job_id: str) -> tuple[int, dict]:
+        with self._lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": "unknown-job", "job_id": job_id}
+        if (
+            job.state == "queued"
+            and job.deadline_at is not None
+            and time.time() >= job.deadline_at
+        ):
+            # Typed timeout even if no runner ever picked the job up.
+            self._finalize_timeout(job, "deadline expired while queued")
+        payload = {
+            "job_id": job.job_id,
+            "status": job.state,
+            "cached": job.cached,
+            "cache_key": job.key,
+            "submitted_at": job.submitted_at,
+            "deadline_at": job.deadline_at,
+            "coalesced": job.coalesced,
+        }
+        progress = self._read_progress(job)
+        if progress:
+            payload["progress"] = progress
+        if job.result is not None:
+            payload["result"] = job.result
+        if job.error is not None:
+            payload["error"] = job.error
+        return 200, payload
+
+    @staticmethod
+    def _read_progress(job: ServeJob) -> list[dict]:
+        """Parse the worker's progress feed (torn tail tolerated)."""
+        path = job.workdir / "progress.jsonl"
+        events: list[dict] = []
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                for line in fp:
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(event, dict):
+                        events.append(event)
+        except OSError:
+            return []
+        return events
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            jobs = dict(self.counters)
+            jobs["queued"] = self._queued
+            jobs["running"] = self._running
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "draining": self.draining.is_set(),
+            "queue_limit": self.queue_limit,
+            "workers": self.num_workers,
+            "jobs": jobs,
+            "cache": self.cache.stats(),
+        }
+
+    # -- drain ------------------------------------------------------------
+
+    def initiate_drain(self) -> None:
+        """Stop admitting; ``/readyz`` flips to 503 immediately."""
+        self.draining.set()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for in-flight jobs to finish; journal stragglers.
+
+        Returns True when everything finished within *timeout*; False
+        when the drain grace expired and still-running supervisors were
+        asked to shut down (their jobs are journaled resumable — nothing
+        is lost, the next start picks them up).
+        """
+        self.initiate_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._idle.wait(timeout=remaining)
+            clean = self._running == 0
+        if not clean:
+            with self._lock:
+                supervisors = list(self._active_supervisors.values())
+            for supervisor in supervisors:
+                supervisor.request_shutdown()
+            with self._idle:
+                while self._running:
+                    self._idle.wait(timeout=1.0)
+        return clean
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the :class:`OptimizationService`."""
+
+    service: OptimizationService  # injected by ServeDaemon
+    verbose = False
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    def _send(self, code: int, payload: dict, extra_headers=()) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif path == "/readyz":
+            if self.service.draining.is_set():
+                self._send(503, {"status": "draining"})
+            else:
+                self._send(200, {"status": "ready"})
+        elif path == "/stats":
+            self._send(200, self.service.stats())
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            code, payload = self.service.job_status(job_id)
+            self._send(code, payload)
+        else:
+            self._send(404, {"error": "not-found", "path": path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._send(404, {"error": "not-found", "path": path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send(400, {"error": "bad-request", "detail": "bad Content-Length"})
+            return
+        if length > MAX_BODY_BYTES:
+            self._send(413, {"error": "too-large", "limit_bytes": MAX_BODY_BYTES})
+            return
+        try:
+            body = self.rfile.read(length)
+            request = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError, OSError):
+            self._send(400, {"error": "bad-request", "detail": "body is not JSON"})
+            return
+        code, payload = self.service.submit(request)
+        headers = ()
+        if code == 429:
+            headers = (("Retry-After", str(payload.get("retry_after", 1))),)
+        self._send(code, payload, headers)
+
+
+class ServeDaemon:
+    """A :class:`ThreadingHTTPServer` bound to an :class:`OptimizationService`."""
+
+    def __init__(
+        self, service: OptimizationService, host: str = "127.0.0.1", port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        handler = type(
+            "BoundHandler", (_Handler,), {"service": service, "verbose": verbose}
+        )
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def start(self) -> None:
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain_grace: float | None = None) -> bool:
+        """Drain the service, stop the listener; True on a clean drain."""
+        clean = self.service.drain(timeout=drain_grace)
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.httpd.server_close()
+        self.service.close()
+        return clean
+
+
+def run_server(
+    workdir: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    num_workers: int = 2,
+    queue_limit: int = 16,
+    cache_max_bytes: int | None = None,
+    max_attempts: int = 2,
+    grace: float = 2.0,
+    default_time_limit: float | None = None,
+    default_verify: str = "sim",
+    mem_limit_mb: int | None = None,
+    drain_grace: float = 30.0,
+    verbose: bool = False,
+) -> int:
+    """Blocking entry point behind ``migopt serve``.
+
+    Runs until SIGTERM/SIGINT, then drains: admission stops, in-flight
+    jobs get *drain_grace* seconds to finish (stragglers are journaled
+    resumable), the stats snapshot is flushed, and the process exits 0.
+    """
+    arm_from_env()
+    service = OptimizationService(
+        workdir,
+        num_workers=num_workers,
+        queue_limit=queue_limit,
+        cache_max_bytes=cache_max_bytes,
+        max_attempts=max_attempts,
+        grace=grace,
+        default_time_limit=default_time_limit,
+        default_verify=default_verify,
+        mem_limit_mb=mem_limit_mb,
+        verbose=verbose,
+    )
+    daemon = ServeDaemon(service, host, port, verbose=verbose)
+    stop = threading.Event()
+
+    def _handle(signum, frame):  # noqa: ARG001 - signal API
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _handle)
+    try:
+        daemon.start()
+        bound_host, bound_port = daemon.address
+        print(
+            f"migopt serve: listening on http://{bound_host}:{bound_port} "
+            f"(workdir {service.workdir}, {num_workers} workers, "
+            f"queue limit {queue_limit})",
+            flush=True,
+        )
+        stop.wait()
+        print("migopt serve: draining...", flush=True)
+        clean = daemon.stop(drain_grace=drain_grace)
+        print(
+            "migopt serve: drained "
+            + ("cleanly" if clean else "with journaled stragglers"),
+            flush=True,
+        )
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+    return 0

@@ -35,6 +35,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -133,6 +134,23 @@ class Supervisor:
         self.verbose = verbose
         self.specs_dir = self.workdir / "specs"
         self.results_dir = self.workdir / "results"
+        self._shutdown = threading.Event()
+
+    def request_shutdown(self) -> None:
+        """Ask a running batch to drain and return early (signal-safe).
+
+        The scheduling loop stops launching new attempts, SIGTERMs every
+        live worker (SIGKILL after the grace window), journals each
+        unfinished job as interrupted — re-runnable at the same attempt
+        number — and returns a report flagged ``interrupted``.  The
+        journal is left in exactly the state ``resume=True`` expects, so
+        a Ctrl-C'd batch loses no completed work and orphans no worker.
+        """
+        self._shutdown.set()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown.is_set()
 
     # -- paths ------------------------------------------------------------
 
@@ -305,6 +323,9 @@ class Supervisor:
         free_slots = list(range(self.num_workers))
 
         while ready or delayed or running:
+            if self._shutdown.is_set():
+                self._drain(journal, records, running, report)
+                break
             now = time.monotonic()
             progressed = False
 
@@ -349,6 +370,62 @@ class Supervisor:
                 # interest (retry eligibility or watchdog escalation).
                 time.sleep(_POLL_INTERVAL)
         return report
+
+    def _drain(
+        self,
+        journal: JobJournal,
+        records: dict[str, JobRecord],
+        running: dict[int, _Running],
+        report: BatchReport,
+    ) -> None:
+        """Stop the batch cleanly: no orphans, journal fully resumable.
+
+        Every live worker is SIGTERMed at once; one that ignores it (the
+        ``worker.hang`` fault models exactly this) is SIGKILLed after the
+        grace window.  A worker that managed to complete its result
+        artifact before dying is journaled ``done`` — its work is kept —
+        while every other interrupted job is journaled ``requeued`` with
+        the ``resume:interrupted`` note, which replay treats as "the
+        attempt never concluded": a later ``--resume`` re-runs it under
+        the same attempt number, preserving exactly-once semantics.
+        """
+        report.interrupted = True
+        for worker in running.values():
+            if not worker.termed:
+                worker.proc.terminate()
+                worker.termed = True
+        kill_deadline = time.monotonic() + self.grace
+        while running:
+            now = time.monotonic()
+            for slot in list(running):
+                worker = running[slot]
+                rc = worker.proc.poll()
+                if rc is None:
+                    if now >= kill_deadline and not worker.killed:
+                        worker.proc.kill()
+                        worker.killed = True
+                    continue
+                del running[slot]
+                record = records[worker.job_id]
+                payload = load_result_artifact(worker.result_path, worker.job_id)
+                if payload is not None and payload.get("status") == "ok":
+                    summary = self._result_summary(payload)
+                    journal.done(worker.job_id, summary)
+                    record.state = "done"
+                    record.result = summary
+                    report.done += 1
+                    report.jobs_per_slot[worker.slot] = (
+                        report.jobs_per_slot.get(worker.slot, 0) + 1
+                    )
+                    self._merge_metrics(report, payload)
+                else:
+                    journal.requeued(worker.job_id, ["resume:interrupted"])
+                    record.state = "pending"
+                    record.attempts = max(0, record.attempts - 1)
+                if self.verbose:
+                    print(f"[supervisor] drained {worker.job_id} ({record.state})")
+            if running:
+                time.sleep(_POLL_INTERVAL)
 
     def _spawn(
         self, journal: JobJournal, record: JobRecord, job_id: str, slot: int

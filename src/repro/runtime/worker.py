@@ -108,6 +108,37 @@ def _load_network(network: dict):
     raise ValueError(f"job network spec {network!r} names no circuit source")
 
 
+def _open_progress(spec: JobSpec):
+    """Per-step progress appender for ``spec.progress`` (None when unset).
+
+    Each record is one fsynced JSON line, so the serving tier's poll
+    endpoint reads a prefix of complete events plus at most one torn
+    tail (the journal discipline applied to a progress feed).  Any
+    failure to report progress is swallowed: observability must never
+    fail the job it observes.
+    """
+    if spec.progress is None:
+        return None
+    try:
+        path = spec.progress
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        fp = open(path, "ab")
+    except OSError:
+        return None
+
+    def append(record: dict) -> None:
+        try:
+            record = dict(record)
+            record["ts"] = time.time()
+            fp.write((json.dumps(record, sort_keys=True) + "\n").encode("utf-8"))
+            fp.flush()
+            os.fsync(fp.fileno())
+        except (OSError, ValueError, TypeError):
+            pass
+
+    return append
+
+
 def _run_db_improve_job(spec: JobSpec, start: float) -> dict:
     """One NPN class of SAT-phase database improvement (``db-improve``).
 
@@ -174,6 +205,17 @@ def run_job(spec: JobSpec) -> dict:
 
     mig = _load_network(spec.network)
 
+    progress = _open_progress(spec)
+    if progress is not None:
+        progress(
+            {
+                "event": "start",
+                "size_before": mig.num_gates,
+                "depth_before": mig.depth(),
+                "total_steps": len(spec.script) if spec.mode == "flow" else None,
+            }
+        )
+
     needs_db = spec.mode == "converge" or any(
         step.strip().upper() in _variant_names() for step in spec.script
     )
@@ -200,7 +242,33 @@ def run_job(spec: JobSpec) -> dict:
             cut_limit=spec.cut_limit,
         )
         steps_payload.append({"step": spec.variant, "status": "ok", "passes": passes})
+        if progress is not None:
+            progress(
+                {
+                    "event": "step",
+                    "step": spec.variant,
+                    "status": "ok",
+                    "passes": passes,
+                    "size_after": result.num_gates,
+                    "depth_after": result.depth(),
+                }
+            )
     elif spec.mode == "flow":
+        on_step = None
+        if progress is not None:
+            def on_step(stats):
+                progress(
+                    {
+                        "event": "step",
+                        "step": stats.step,
+                        "status": stats.status,
+                        "verified": stats.verified,
+                        "runtime": round(stats.runtime, 6),
+                        "size_after": stats.size_after,
+                        "depth_after": stats.depth_after,
+                    }
+                )
+
         result, history = run_flow(
             mig,
             db,
@@ -209,6 +277,7 @@ def run_job(spec: JobSpec) -> dict:
             verify=spec.verify,
             on_error="rollback",
             cut_limit=spec.cut_limit,
+            on_step=on_step,
         )
         for stats in history:
             entry = {

@@ -1,0 +1,195 @@
+"""The content-addressed result cache (repro.runtime.cache)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.cache import ResultCache, request_key
+from repro.runtime.faults import inject
+from repro.runtime.jobs import JobSpec
+
+
+def _spec(**overrides) -> JobSpec:
+    fields = dict(job_id="j", network={"generate": "adder"})
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestRequestKey:
+    def test_same_inputs_same_key(self):
+        assert request_key("ab" * 32, _spec()) == request_key("ab" * 32, _spec())
+
+    def test_network_hash_is_part_of_the_key(self):
+        assert request_key("ab" * 32, _spec()) != request_key("cd" * 32, _spec())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"script": ("BF", "TFD")},
+            {"mode": "converge"},
+            {"variant": "TFD"},
+            {"max_passes": 3},
+            {"verify": "cec"},
+            {"time_limit": 2.0},
+            {"conflict_limit": 500},
+            {"cut_limit": 4},
+            {"db": "/some/db.jsonl"},
+        ],
+    )
+    def test_result_relevant_fields_change_the_key(self, change):
+        assert request_key("ab" * 32, _spec()) != request_key(
+            "ab" * 32, _spec(**change)
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"job_id": "other"},
+            {"network": {"blif": "/tmp/x.blif"}},
+            {"output": "/tmp/out.blif"},
+            {"progress": "/tmp/p.jsonl"},
+            {"mem_limit_mb": 512},
+        ],
+    )
+    def test_placement_fields_do_not_change_the_key(self, change):
+        """Where a job runs or lands must not defeat deduplication."""
+        assert request_key("ab" * 32, _spec()) == request_key(
+            "ab" * 32, _spec(**change)
+        )
+
+
+class TestRoundtrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "0" * 64
+        assert cache.get(key) is None
+        cache.put(key, {"size_after": 7})
+        assert cache.get(key) == {"size_after": 7}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["puts"] == 1
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+
+    def test_no_tmp_files_survive_a_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("1" * 64, {"a": 1})
+        assert not list(cache.objects_dir.glob("*.tmp"))
+
+    def test_restart_warm(self, tmp_path):
+        ResultCache(tmp_path).put("2" * 64, {"a": 2})
+        reopened = ResultCache(tmp_path)
+        assert reopened.get("2" * 64) == {"a": 2}
+        assert reopened.stats()["entries"] == 1
+
+    def test_crashed_tmp_leftover_is_swept_on_open(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("3" * 64, {"a": 3})
+        # Model a kill -9 mid-atomic-write: the temp file exists, the
+        # entry was never replaced.
+        leftover = cache.objects_dir / (("4" * 64) + ".json.oops.tmp")
+        leftover.write_text('{"version": 1, "truncat')
+        reopened = ResultCache(tmp_path)
+        assert not leftover.exists()
+        assert reopened.get("3" * 64) == {"a": 3}
+        assert reopened.get("4" * 64) is None
+
+
+class TestQuarantine:
+    def _entry_path(self, cache, key):
+        return cache.objects_dir / f"{key}.json"
+
+    def test_unparsable_entry_quarantined_and_missed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "5" * 64
+        self._entry_path(cache, key).write_text("{this is not json")
+        assert ResultCache(tmp_path).get(key) is None
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(key) is None  # still a miss, not an error loop
+        corrupt = list(cache.objects_dir.glob(f"{key}.json.corrupt*"))
+        assert corrupt, "corrupt entry must be preserved as evidence"
+
+    def test_key_mismatch_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "6" * 64
+        self._entry_path(cache, key).write_text(
+            json.dumps({"version": 1, "key": "7" * 64, "result": {"a": 1}})
+        )
+        assert cache.get(key) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_version_mismatch_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "8" * 64
+        self._entry_path(cache, key).write_text(
+            json.dumps({"version": 999, "key": key, "result": {"a": 1}})
+        )
+        assert cache.get(key) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_cache_corrupt_fault_fires_the_quarantine_path(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "9" * 64
+        with inject("cache.corrupt"):
+            cache.put(key, {"a": 1})
+        assert cache.get(key) is None
+        assert cache.stats()["corrupt"] == 1
+        # The slot is reusable: the re-optimization overwrites cleanly.
+        cache.put(key, {"a": 1})
+        assert cache.get(key) == {"a": 1}
+
+
+class TestEviction:
+    def _fill(self, cache, keys, pad=200):
+        for key in keys:
+            cache.put(key, {"blob": "x" * pad, "key_tag": key[:4]})
+
+    def _entry_bytes(self, tmp_path, pad=200) -> int:
+        probe = ResultCache(tmp_path / "probe")
+        probe.put("f" * 64, {"blob": "x" * pad, "key_tag": "ffff"})
+        return probe.stats()["bytes"]
+
+    def test_oldest_entry_evicted_first(self, tmp_path):
+        keys = [c * 64 for c in "abc"]
+        # Budget: exactly three entries fit, a fourth forces one out.
+        cache = ResultCache(tmp_path, max_bytes=3 * self._entry_bytes(tmp_path) + 16)
+        now = 1_000_000.0
+        self._fill(cache, keys)
+        for i, key in enumerate(keys):
+            os.utime(cache.objects_dir / f"{key}.json", (now + i, now + i))
+        cache.put("d" * 64, {"blob": "x" * 200, "key_tag": "dddd"})
+        assert cache.get(keys[0]) is None  # oldest went
+        assert cache.get("d" * 64) is not None
+        stats = cache.stats()
+        assert stats["evictions"] >= 1 and stats["evicted_bytes"] > 0
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        keys = [c * 64 for c in "abc"]
+        cache = ResultCache(tmp_path, max_bytes=3 * self._entry_bytes(tmp_path) + 16)
+        now = 1_000_000.0
+        self._fill(cache, keys)
+        for i, key in enumerate(keys):
+            os.utime(cache.objects_dir / f"{key}.json", (now + i, now + i))
+        assert cache.get(keys[0]) is not None  # touch: now most recent
+        cache.put("d" * 64, {"blob": "x" * 200, "key_tag": "dddd"})
+        assert cache.get(keys[0]) is not None  # survived
+        assert cache.get(keys[1]) is None  # the untouched oldest went
+
+    def test_fresh_put_never_self_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10)  # smaller than any entry
+        cache.put("e" * 64, {"blob": "x" * 500})
+        assert cache.get("e" * 64) is not None
+
+    def test_accounting_survives_restart(self, tmp_path):
+        keys = [c * 64 for c in "ab"]
+        cache = ResultCache(tmp_path, max_bytes=10_000)
+        self._fill(cache, keys)
+        before = cache.stats()["bytes"]
+        reopened = ResultCache(tmp_path, max_bytes=10_000)
+        assert reopened.stats()["bytes"] == before
+        assert reopened.stats()["entries"] == 2
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=0)
