@@ -137,7 +137,10 @@ def run_case(db: NpnDatabase, factory, variant: str, repeat: int) -> dict:
     best_metrics: PassMetrics | None = None
     size_after = mig.num_gates
     for _ in range(repeat):
-        npn._canonize_cached.cache_clear()
+        # Cold protocol: drop the scalar lru AND the batch memo — the
+        # array pipeline must win on genuinely cold canonizations, not
+        # by replaying a warm table the baseline never had.
+        npn.canonize_cache_clear()
         metrics = PassMetrics(variant=variant)
         start = time.perf_counter()
         result = functional_hashing(mig, db, variant, metrics=metrics)
@@ -186,6 +189,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-sim-speedup", type=float, default=None,
                         help="in --check mode, fail when the simulation "
                         "microbench geomean falls below this factor")
+    parser.add_argument("--min-rewrite-speedup", type=float, default=None,
+                        help="in --check mode, fail when the rewriting "
+                        "geomean speedup vs baseline falls below this floor")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("-o", "--output", type=Path,
                         default=RESULTS_DIR / "BENCH_hotpath.json")
@@ -227,6 +233,11 @@ def main(argv: list[str] | None = None) -> int:
             product *= s
         geomean = round(product ** (1.0 / len(speedups)), 2)
         print(f"geomean speedup vs baseline: {geomean}x")
+        if args.min_rewrite_speedup and geomean < args.min_rewrite_speedup:
+            regressions.append(
+                f"rewriting geomean {geomean}x below the "
+                f"--min-rewrite-speedup floor {args.min_rewrite_speedup}x"
+            )
 
     sim_names = QUICK_SIM_CASES if args.quick else tuple(SIM_CASES)
     sim_cases: dict[str, dict] = {}

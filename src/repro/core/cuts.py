@@ -37,11 +37,18 @@ shaped) networks never hit Python's recursion limit.
 
 from __future__ import annotations
 
-from bisect import insort
+import numpy as np
 
 from ..runtime.metrics import PassMetrics
 from .kernel import Network
-from .truth_table import tt_maj, tt_mask
+from .simengine import (
+    _PATTERN_IDS,
+    evaluate_cut_levels,
+    evaluate_cut_program,
+    expansion_lut,
+    expansion_pid,
+)
+from .truth_table import tt_extend, tt_maj, tt_mask
 
 __all__ = [
     "CutSet",
@@ -57,6 +64,83 @@ __all__ = [
 #: Truth table of the single-variable projection x0 (trivial/PI cuts).
 _TT_X0 = 0b10
 
+#: width masks indexed by variable count (cuts have at most 4 leaves)
+_MASKS = (0b1, 0b11, 0xF, 0xFF, 0xFFFF)
+
+
+class _CutProgram:
+    """Flat cut-function program recorded *during* enumeration.
+
+    Each enumerated cut owns a slot; trivial / PI / constant cuts are
+    init slots with known seed tables, every merged gate cut becomes one
+    program row: its output slot and mask, plus per fanin position the
+    child cut's slot, inversion bit, and expansion pattern id
+    (:func:`repro.core.simengine.expansion_pid`; 0 = child already on
+    the union leaf set).  Rows carry their **provenance-DAG level**
+    (1 + max child level), so the executor sweeps a few wide levels even
+    on chain-shaped networks whose *network* depth is in the hundreds.
+
+    Recording rides along the merge loop — the slots, leaf walks and
+    dict probes a post-hoc compiler would redo are captured while the
+    enumerator already holds them — which is what makes the batch
+    pipeline essentially free to set up (docs/PERFORMANCE.md).
+    """
+
+    __slots__ = (
+        "arity", "keys", "nv", "slot_lev", "init_idx", "init_vals",
+        "row_out", "row_lev", "row_mask", "row_child", "row_sign",
+        "row_pid",
+    )
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.keys: list[tuple[int, tuple[int, ...]]] = []
+        self.nv: list[int] = []
+        self.slot_lev: list[int] = []
+        self.init_idx: list[int] = []
+        self.init_vals: list[int] = []
+        self.row_out: list[int] = []
+        self.row_lev: list[int] = []
+        self.row_mask: list[int] = []
+        self.row_child: list[int] = []
+        self.row_sign: list[int] = []
+        self.row_pid: list[int] = []
+
+    def add_init(
+        self, key: tuple[int, tuple[int, ...]], num_vars: int, value: int
+    ) -> int:
+        slot = len(self.nv)
+        self.keys.append(key)
+        self.nv.append(num_vars)
+        self.slot_lev.append(0)
+        self.init_idx.append(slot)
+        self.init_vals.append(value)
+        return slot
+
+    def evaluate(self) -> np.ndarray:
+        """Assemble the flat arrays and run the executor once.
+
+        Only inversion *bits* are recorded per fanin; the per-row width
+        masks are broadcast onto them here, so the hot recording loop
+        never evaluates a conditional per fanin.
+        """
+        n = len(self.row_out)
+        arity = self.arity
+        mask = np.fromiter(self.row_mask, np.int64, n)
+        sign = np.fromiter(self.row_sign, np.int64, arity * n).reshape(n, arity)
+        return evaluate_cut_program(
+            len(self.nv),
+            np.fromiter(self.init_idx, np.int64, len(self.init_idx)),
+            np.fromiter(self.init_vals, np.int64, len(self.init_vals)),
+            np.fromiter(self.row_lev, np.int64, n),
+            np.fromiter(self.row_out, np.int64, n),
+            mask,
+            np.fromiter(self.row_child, np.int64, arity * n).reshape(n, arity),
+            sign * mask[:, None],
+            np.fromiter(self.row_pid, np.int64, arity * n).reshape(n, arity),
+            arity,
+        )
+
 
 def _signature(leaves: tuple[int, ...]) -> int:
     sig = 0
@@ -66,44 +150,47 @@ def _signature(leaves: tuple[int, ...]) -> int:
 
 
 def _merge3(
-    set1: list[tuple[tuple[int, ...], int, int]],
-    set2: list[tuple[tuple[int, ...], int, int]],
-    set3: list[tuple[tuple[int, ...], int, int]],
+    set1: list[tuple[tuple[int, ...], int, int, int]],
+    set2: list[tuple[tuple[int, ...], int, int, int]],
+    set3: list[tuple[tuple[int, ...], int, int, int]],
     k: int,
 ) -> list[tuple[tuple[int, ...], int, int, tuple]]:
     """Saturating union ``⊗k`` over three cut sets, with domination pruning.
 
-    Inputs are ``(leaves, signature, cone_size)`` triples; the result adds
-    the provenance ``(leaves1, leaves2, leaves3)`` that produced each
-    union — the raw material for incremental cut functions.  The merged
-    cone size is ``1 + size1 + size2 + size3``; it equals the true cone
-    gate count only when the fanin cones are disjoint, which the
-    FFR-restricted enumeration mode guarantees (see :func:`_enumerate`).
+    Inputs are ``(leaves, signature, cone_size, slot)`` entries; the
+    result carries the provenance — the three child *entries* each union
+    was merged from — as raw material for incremental cut functions (the
+    leaf tuples feed the scalar memo, the slots feed the compiled batch
+    program).  The merged cone size is ``1 + size1 + size2 + size3``; it
+    equals the true cone gate count only when the fanin cones are
+    disjoint, which the FFR-restricted enumeration mode guarantees (see
+    :func:`_enumerate`).
     """
     result: dict[tuple[int, ...], tuple[int, int, tuple]] = {}
-    for leaves1, sig1, size1 in set1:
-        base1 = set(leaves1)
-        for leaves2, sig2, size2 in set2:
-            sig12 = sig1 | sig2
+    for e1 in set1:
+        sig1 = e1[1]
+        size1_plus1 = 1 + e1[2]
+        union1 = set(e1[0]).union
+        for e2 in set2:
+            sig12 = sig1 | e2[1]
             if sig12.bit_count() > k:
                 continue
-            union12 = base1.union(leaves2)
+            union12 = union1(e2[0])
             if len(union12) > k:
                 continue
-            size12 = 1 + size1 + size2
-            for leaves3, sig3, size3 in set3:
-                sig = sig12 | sig3
+            size12 = size1_plus1 + e2[2]
+            union12_union = union12.union
+            for e3 in set3:
+                sig = sig12 | e3[1]
                 if sig.bit_count() > k:
                     continue
-                union = union12.union(leaves3)
+                union = union12_union(e3[0])
                 if len(union) > k:
                     continue
                 leaves = tuple(sorted(union))
                 if leaves not in result:
                     # The signature of the union is the OR of the parts.
-                    result[leaves] = (
-                        sig, size12 + size3, (leaves1, leaves2, leaves3)
-                    )
+                    result[leaves] = (sig, size12 + e3[2], (e1, e2, e3))
     return _prune_dominated(
         [
             (leaves, sig, size, prov)
@@ -113,24 +200,26 @@ def _merge3(
 
 
 def _merge2(
-    set1: list[tuple[tuple[int, ...], int, int]],
-    set2: list[tuple[tuple[int, ...], int, int]],
+    set1: list[tuple[tuple[int, ...], int, int, int]],
+    set2: list[tuple[tuple[int, ...], int, int, int]],
     k: int,
 ) -> list[tuple[tuple[int, ...], int, int, tuple]]:
     """Two-operand ``⊗k`` — the AIG instantiation of :func:`_merge3`."""
     result: dict[tuple[int, ...], tuple[int, int, tuple]] = {}
-    for leaves1, sig1, size1 in set1:
-        base1 = set(leaves1)
-        for leaves2, sig2, size2 in set2:
-            sig = sig1 | sig2
+    for e1 in set1:
+        sig1 = e1[1]
+        size1_plus1 = 1 + e1[2]
+        union1 = set(e1[0]).union
+        for e2 in set2:
+            sig = sig1 | e2[1]
             if sig.bit_count() > k:
                 continue
-            union = base1.union(leaves2)
+            union = union1(e2[0])
             if len(union) > k:
                 continue
             leaves = tuple(sorted(union))
             if leaves not in result:
-                result[leaves] = (sig, 1 + size1 + size2, (leaves1, leaves2))
+                result[leaves] = (sig, size1_plus1 + e2[2], (e1, e2))
     return _prune_dominated(
         [
             (leaves, sig, size, prov)
@@ -143,6 +232,8 @@ def _prune_dominated(
     cuts: list[tuple[tuple[int, ...], int, int, tuple]],
 ) -> list[tuple[tuple[int, ...], int, int, tuple]]:
     """Remove cuts that are proper supersets of another cut in the list."""
+    if len(cuts) < 2:
+        return cuts
     cuts.sort(key=lambda item: len(item[0]))
     kept: list[tuple[tuple[int, ...], int, int, tuple]] = []
     for entry in cuts:
@@ -169,10 +260,14 @@ def _enumerate(
     include_trivial: bool,
     metrics: PassMetrics | None,
     ffr_fanout: list[int] | None = None,
-) -> tuple[list[list[tuple[int, ...]]], dict, dict]:
+    compile_functions: bool = False,
+) -> tuple[list[list[tuple[int, ...]]], dict, dict, "_CutProgram | None"]:
     """Shared enumeration core.
 
-    Returns per-node cut lists, cut provenance, and per-cut cone sizes.
+    Returns per-node cut lists, cut provenance, per-cut cone sizes, and
+    — with *compile_functions* — the flat :class:`_CutProgram` for
+    batched truth-table evaluation, recorded alongside the merge at
+    negligible extra cost.
 
     With *ffr_fanout* (a fanout-count list), enumeration is restricted to
     fanout-free cuts: merging never expands through a gate with fanout
@@ -191,62 +286,213 @@ def _enumerate(
     if arity not in (2, 3):
         raise ValueError(f"unsupported gate arity {arity}")
     num_nodes = mig.num_nodes
-    work: list[list[tuple[tuple[int, ...], int, int]]] = [
+    program = _CutProgram(arity) if compile_functions else None
+    work: list[list[tuple[tuple[int, ...], int, int, int]]] = [
         [] for _ in range(num_nodes)
     ]
-    work[0] = [((), 0, 0)]
+    slot = program.add_init((0, ()), 0, 0) if program is not None else 0
+    work[0] = [((), 0, 0, slot)]
     for node in range(1, mig.num_pis + 1):
         leaves = (node,)
-        work[node] = [(leaves, _signature(leaves), 0)]
+        slot = (
+            program.add_init((node, leaves), 1, _TT_X0)
+            if program is not None
+            else 0
+        )
+        work[node] = [(leaves, _signature(leaves), 0, slot)]
     provenance: dict[tuple[int, tuple[int, ...]], tuple] = {}
     cone_sizes: dict[tuple[int, tuple[int, ...]], int] = {}
+    #: node -> slot of its trivial singleton cut (compile mode): the
+    #: inserted trivial and the FFR shared-leaf source must share one
+    #: slot, they are the same (node, leaves) key.
+    trivial_slots: dict[int, int] = {}
+    #: child -> memoized singleton source list for shared FFR leaves
+    ffr_sources: dict[int, list] = {}
     num_pis = mig.num_pis
     total_cuts = 0
+    ffr = ffr_fanout is not None
+    prov_set = provenance.__setitem__
+    cone_set = cone_sizes.__setitem__
+    if program is not None:
+        # The slot bookkeeping below (gate-cut recording, trivial-cut
+        # init slots) is fully inlined with the list append methods
+        # bound once: one attribute walk per *pass*, not per cut, keeps
+        # the ride-along compile nearly free.
+        nslots = len(program.nv)
+        slot_lev = program.slot_lev
+        p_keys_append = program.keys.append
+        p_nv_append = program.nv.append
+        p_slot_lev_append = slot_lev.append
+        init_idx_append = program.init_idx.append
+        init_vals_append = program.init_vals.append
+        row_out_append = program.row_out.append
+        row_lev_append = program.row_lev.append
+        row_mask_append = program.row_mask.append
+        row_child_append = program.row_child.append
+        row_sign_append = program.row_sign.append
+        row_pid_append = program.row_pid.append
+        # Known patterns answer from one dict probe; expansion_pid only
+        # runs to grow the LUT (a handful of times per process, ever).
+        pid_get = _PATTERN_IDS.get
     for node in mig.gates():
         fanins = mig.fanins(node)
         sources = []
         for s in fanins:
             child = s >> 1
-            if (
-                ffr_fanout is not None
-                and child > num_pis
-                and ffr_fanout[child] != 1
-            ):
+            if ffr and child > num_pis and ffr_fanout[child] != 1:
                 # Shared gate: a leaf, never expanded through.
-                trivial = (child,)
-                sources.append([(trivial, _signature(trivial), 0)])
+                src = ffr_sources.get(child)
+                if src is None:
+                    trivial = (child,)
+                    if program is not None:
+                        slot = trivial_slots.get(child)
+                        if slot is None:
+                            slot = nslots
+                            nslots += 1
+                            p_keys_append((child, trivial))
+                            p_nv_append(1)
+                            p_slot_lev_append(0)
+                            init_idx_append(slot)
+                            init_vals_append(_TT_X0)
+                            trivial_slots[child] = slot
+                    else:
+                        slot = 0
+                    src = [(trivial, 1 << (child & 63), 0, slot)]
+                    ffr_sources[child] = src
+                sources.append(src)
             else:
                 sources.append(work[child])
+        # Single-entry sources are the overwhelmingly common case under
+        # FFR restriction (50–80% of gates on the EPFL suite: every
+        # child a PI, a shared gate, or the constant), and their merge
+        # is one union — skip the full ⊗k product and its pruning.
         if arity == 3:
-            merged = _merge3(sources[0], sources[1], sources[2], k)
+            set1, set2, set3 = sources
+            if len(set1) == 1 and len(set2) == 1 and len(set3) == 1:
+                e1, e2, e3 = set1[0], set2[0], set3[0]
+                l1, l2, l3 = e1[0], e2[0], e3[0]
+                if len(l1) < 2 and len(l2) < 2 and len(l3) < 2:
+                    # Singleton (or constant-empty) leaf tuples: the
+                    # fanin invariants make them distinct and ascending,
+                    # so the concatenation is the sorted union.
+                    leaves = l1 + l2 + l3
+                else:
+                    leaves = tuple(sorted({*l1, *l2, *l3}))
+                if len(leaves) <= k:
+                    merged = [(
+                        leaves,
+                        e1[1] | e2[1] | e3[1],
+                        1 + e1[2] + e2[2] + e3[2],
+                        (e1, e2, e3),
+                    )]
+                else:
+                    merged = []
+            else:
+                merged = _merge3(set1, set2, set3, k)
         else:
-            merged = _merge2(sources[0], sources[1], k)
+            set1, set2 = sources
+            if len(set1) == 1 and len(set2) == 1:
+                e1, e2 = set1[0], set2[0]
+                l1, l2 = e1[0], e2[0]
+                if len(l1) < 2 and len(l2) < 2:
+                    leaves = l1 + l2
+                else:
+                    leaves = tuple(sorted({*l1, *l2}))
+                if len(leaves) <= k:
+                    merged = [(
+                        leaves,
+                        e1[1] | e2[1],
+                        1 + e1[2] + e2[2],
+                        (e1, e2),
+                    )]
+                else:
+                    merged = []
+            else:
+                merged = _merge2(set1, set2, k)
         if len(merged) > cut_limit:
             merged = merged[:cut_limit]
-        entries = [(leaves, sig, size) for leaves, sig, size, _ in merged]
-        for leaves, _sig, size, prov in merged:
-            provenance[(node, leaves)] = (fanins, prov)
-            if ffr_fanout is not None:
-                cone_sizes[(node, leaves)] = size
+        entries = []
+        for leaves, sig, size, child_entries in merged:
+            if program is not None:
+                num_leaves = len(leaves)
+                if num_leaves > 4:
+                    # The batch program is 4-variable (expansion LUTs and
+                    # the NPN database are); wider cuts drop it entirely
+                    # and the pass stays on the scalar memo.
+                    program = None
+                    slot = 0
+                else:
+                    slot = nslots
+                    nslots += 1
+                    p_keys_append((node, leaves))
+                    p_nv_append(num_leaves)
+                    mask = _MASKS[num_leaves]
+                    lev = 0
+                    index = leaves.index
+                    for s, entry in zip(fanins, child_entries):
+                        child_slot = entry[3]
+                        child_lev = slot_lev[child_slot]
+                        if child_lev > lev:
+                            lev = child_lev
+                        row_child_append(child_slot)
+                        row_sign_append(s & 1)
+                        child_leaves = entry[0]
+                        if child_leaves == leaves:
+                            row_pid_append(0)
+                        else:
+                            # Positions of the (sorted) child leaves
+                            # within the (sorted) union leaves — the
+                            # child is a subset by merge construction,
+                            # so every index probe hits.
+                            pat = (num_leaves, tuple(map(index, child_leaves)))
+                            pid = pid_get(pat)
+                            row_pid_append(
+                                pid if pid is not None
+                                else expansion_pid(*pat)
+                            )
+                    lev += 1
+                    p_slot_lev_append(lev)
+                    row_out_append(slot)
+                    row_lev_append(lev)
+                    row_mask_append(mask)
+            else:
+                slot = 0
+            entries.append((leaves, sig, size, slot))
+            # The merge's provenance triple is stored as-is (full child
+            # entries, leaves at index 0): rebuilding a leaves-only
+            # tuple per cut was measurable, and in batch mode the memo
+            # is complete so most provenance is never consulted.
+            key = (node, leaves)
+            prov_set(key, (fanins, child_entries))
+            if ffr:
+                cone_set(key, size)
         if include_trivial:
             trivial = (node,)
+            if program is not None:
+                slot = nslots
+                nslots += 1
+                p_keys_append((node, trivial))
+                p_nv_append(1)
+                p_slot_lev_append(0)
+                init_idx_append(slot)
+                init_vals_append(_TT_X0)
+                trivial_slots[node] = slot
+            else:
+                slot = 0
             # Keep the documented "ordered by increasing leaf count"
-            # contract: the trivial 1-leaf cut is inserted in sorted
-            # position, not appended after larger cuts.
-            insort(
-                entries,
-                (trivial, _signature(trivial), 0),
-                key=lambda e: len(e[0]),
-            )
+            # contract: the trivial 1-leaf cut goes after existing
+            # narrower-or-equal cuts, before wider ones (insort_right
+            # semantics — hand-rolled, the key'd bisect was measurable).
+            lo = 0
+            n_entries = len(entries)
+            while lo < n_entries and len(entries[lo][0]) <= 1:
+                lo += 1
+            entries.insert(lo, (trivial, 1 << (node & 63), 0, slot))
         work[node] = entries
         total_cuts += len(entries)
     if metrics is not None:
         metrics.cuts_enumerated += total_cuts
-    return (
-        [[leaves for leaves, _, _ in cuts] for cuts in work],
-        provenance,
-        cone_sizes,
-    )
+    return work, provenance, cone_sizes, program
 
 
 def enumerate_cuts(
@@ -263,8 +509,8 @@ def enumerate_cuts(
     order).  The constant node has the single empty cut; a PI has its
     singleton cut.
     """
-    cuts, _, _ = _enumerate(mig, k, cut_limit, include_trivial, metrics)
-    return cuts
+    entries, _, _, _ = _enumerate(mig, k, cut_limit, include_trivial, metrics)
+    return [[entry[0] for entry in node_entries] for node_entries in entries]
 
 
 def enumerate_cut_set(
@@ -274,17 +520,21 @@ def enumerate_cut_set(
     include_trivial: bool = True,
     metrics: PassMetrics | None = None,
     ffr_fanout: list[int] | None = None,
+    compile_functions: bool = False,
 ) -> "CutSet":
     """Enumerate cuts and return a :class:`CutSet` with lazy cut functions.
 
     With *ffr_fanout* (see :func:`_enumerate`), only fanout-free cuts are
     produced and :meth:`CutSet.cone_size` knows each cut's exact cone
-    gate count.
+    gate count.  With *compile_functions*, the flat batch program is
+    recorded during the merge so a later
+    :meth:`CutSet.compute_functions` skips the post-hoc compile.
     """
-    cuts, provenance, cone_sizes = _enumerate(
-        mig, k, cut_limit, include_trivial, metrics, ffr_fanout
+    entries, provenance, cone_sizes, program = _enumerate(
+        mig, k, cut_limit, include_trivial, metrics, ffr_fanout,
+        compile_functions,
     )
-    return CutSet(mig, cuts, provenance, metrics, cone_sizes)
+    return CutSet(mig, entries, provenance, metrics, cone_sizes, program)
 
 
 # -- expansion tables for incremental cut functions -------------------------
@@ -354,17 +604,70 @@ class CutSet:
     def __init__(
         self,
         mig: Network,
-        cuts: list[list[tuple[int, ...]]],
+        entries: list[list[tuple[tuple[int, ...], int, int, int]]],
         provenance: dict[tuple[int, tuple[int, ...]], tuple],
         metrics: PassMetrics | None = None,
         cone_sizes: dict[tuple[int, tuple[int, ...]], int] | None = None,
+        program: "_CutProgram | None" = None,
     ) -> None:
         self.mig = mig
-        self.cuts = cuts
+        #: per-node ``(leaves, signature, cone_size, slot)`` entries as
+        #: the enumerator produced them — the rewriters iterate these
+        #: directly (cone size and program slot ride along, no dict
+        #: probes); :attr:`cuts` derives the leaves-only view lazily.
+        self.entries = entries
+        self._cuts: list[list[tuple[int, ...]]] | None = None
         self._provenance = provenance
         self._functions: dict[tuple[int, tuple[int, ...]], int] = {}
         self.metrics = metrics
         self._cone_sizes = cone_sizes or {}
+        self._program = program
+        # Batch-evaluation state (compute_functions): flat per-slot truth
+        # tables, the slots of non-trivial gate cuts, and per-slot var
+        # counts.  None until/unless the batch path ran.
+        self._batch_values: np.ndarray | None = None
+        self._batch_gate_slots: np.ndarray | None = None
+        self._batch_nv: np.ndarray | None = None
+        self._slot_tables: tuple[int, list[int]] | None = None
+
+    @property
+    def cuts(self) -> list[list[tuple[int, ...]]]:
+        """Per-node leaf tuples (the :func:`enumerate_cuts` shape)."""
+        c = self._cuts
+        if c is None:
+            c = self._cuts = [
+                [entry[0] for entry in node_entries]
+                for node_entries in self.entries
+            ]
+        return c
+
+    def slot_tables(self, num_vars: int) -> list[int] | None:
+        """Per-slot truth tables extended to *num_vars* variables.
+
+        Indexed by entry slot (``entries[node][i][3]``).  Available only
+        when the ride-along program ran (``compute_functions`` on a
+        compiled cut set); the extension is the vectorized counterpart
+        of :func:`repro.core.truth_table.tt_extend`, so the values are
+        bit-identical to the scalar path.  With this list in hand the
+        rewrite loop answers every cut-function query with one list
+        index — no tuple key, no dict probe, no per-cut extension.
+        """
+        if self._program is None:
+            return None
+        if self._batch_values is None and self.compute_functions() is None:
+            return None
+        cached = self._slot_tables
+        if cached is not None and cached[0] == num_vars:
+            return cached[1]
+        v = self._batch_values.copy()  # type: ignore[union-attr]
+        nv = self._batch_nv
+        for k in range(num_vars):
+            grow = nv <= k
+            if grow.any():
+                v[grow] |= v[grow] << (1 << k)
+        tables = v.tolist()
+        self._slot_tables = (num_vars, tables)
+        return tables
 
     def cone_size(self, node: int, leaves: tuple[int, ...]) -> int | None:
         """Exact cone gate count of a cut, or None.
@@ -379,6 +682,175 @@ class CutSet:
 
     def __len__(self) -> int:
         return len(self.cuts)
+
+    def compute_functions(self) -> int | None:
+        """Batch-evaluate every enumerated cut function in one sweep.
+
+        Compiles the cut provenance DAG into per-level steps — gather the
+        fanin cut tables, re-express them onto the union leaf set through
+        :func:`repro.core.simengine.expansion_lut` tables, complement,
+        combine — and runs it through
+        :func:`repro.core.simengine.evaluate_cut_levels`, so a whole
+        level of cuts costs a handful of numpy ops instead of one Python
+        bigint recursion per cut.  The results fill the same per-pass
+        memo :meth:`function` consults, **bit-identical to the lazy
+        scalar derivation** (same expansion definition, same gate
+        semantics), so downstream decisions cannot diverge.
+
+        Returns the number of gate-cut tables computed, or ``None`` when
+        the cut set is non-conformant for batching (a cut wider than 4
+        variables, or provenance missing) — callers then simply stay on
+        the lazy scalar path.
+        """
+        if self._batch_values is not None:
+            return int(self._batch_gate_slots.size)  # type: ignore[union-attr]
+        program = self._program
+        if program is not None:
+            # Fast path: the flat program was recorded during the merge
+            # (enumerate_cut_set(compile_functions=True)) — assemble the
+            # arrays and run the executor, no second pass over the cuts.
+            values = program.evaluate()
+            self._functions.update(zip(program.keys, values.tolist()))
+            self._batch_values = values
+            self._batch_gate_slots = np.fromiter(
+                program.row_out, np.int64, len(program.row_out)
+            )
+            self._batch_nv = np.fromiter(
+                program.nv, np.int64, len(program.nv)
+            )
+            if self.metrics is not None:
+                self.metrics.batch_cut_functions += len(program.row_out)
+                self.metrics.batch_levels += max(program.row_lev, default=0)
+            return len(program.row_out)
+        mig = self.mig
+        arity = mig.arity
+        if arity not in (2, 3):
+            return None
+        levels = mig.levels()
+        provenance = self._provenance
+        slots: dict[tuple[int, tuple[int, ...]], int] = {}
+        keys: list[tuple[int, tuple[int, ...]]] = []
+        nv_list: list[int] = []
+        init_idx: list[int] = []
+        init_vals: list[int] = []
+        gate_slots: list[int] = []
+        by_level: dict[int, list[tuple[int, tuple[int, ...], tuple]]] = {}
+        for node, node_cuts in enumerate(self.cuts):
+            for leaves in node_cuts:
+                key = (node, leaves)
+                if key in slots:
+                    continue
+                if len(leaves) > 4:
+                    return None
+                idx = len(keys)
+                slots[key] = idx
+                keys.append(key)
+                nv_list.append(len(leaves))
+                if leaves == (node,):
+                    init_idx.append(idx)
+                    init_vals.append(_TT_X0)
+                elif node == 0:
+                    init_idx.append(idx)
+                    init_vals.append(0)
+                else:
+                    prov = provenance.get(key)
+                    if prov is None:
+                        return None
+                    by_level.setdefault(levels[node], []).append(
+                        (idx, leaves, prov)
+                    )
+                    gate_slots.append(idx)
+        masks = tuple(tt_mask(v) for v in range(5))
+        level_steps = []
+        for lev in sorted(by_level):
+            entries = by_level[lev]
+            out_idx = np.array([e[0] for e in entries], dtype=np.int64)
+            out_mask = np.array(
+                [masks[len(e[1])] for e in entries], dtype=np.int64
+            )
+            pos_steps = []
+            for p in range(arity):
+                child_idx: list[int] = []
+                comp: list[int] = []
+                groups: dict[tuple[int, tuple[int, ...]], list[int]] = {}
+                for i, (idx, lv, prov) in enumerate(entries):
+                    fan_signals, fan_entries = prov
+                    s = fan_signals[p]
+                    cl = fan_entries[p][0]
+                    cidx = slots.get((s >> 1, cl))
+                    if cidx is None:
+                        return None
+                    child_idx.append(cidx)
+                    comp.append(masks[len(lv)] if s & 1 else 0)
+                    if cl != lv:
+                        # Positions of the (sorted) child leaves within
+                        # the (sorted) union leaves — same merge walk as
+                        # the scalar _expand.
+                        positions = []
+                        j = 0
+                        src_len = len(cl)
+                        for pos_i, leaf in enumerate(lv):
+                            if j < src_len and cl[j] == leaf:
+                                positions.append(pos_i)
+                                j += 1
+                        if j != src_len:
+                            return None
+                        groups.setdefault((len(lv), tuple(positions)), []).append(i)
+                group_list = tuple(
+                    (expansion_lut(dl, pos), np.array(sel, dtype=np.int64))
+                    for (dl, pos), sel in groups.items()
+                )
+                pos_steps.append(
+                    (
+                        np.array(child_idx, dtype=np.int64),
+                        np.array(comp, dtype=np.int64),
+                        group_list,
+                    )
+                )
+            level_steps.append((out_idx, out_mask, tuple(pos_steps)))
+        values = evaluate_cut_levels(
+            len(keys),
+            np.array(init_idx, dtype=np.int64),
+            np.array(init_vals, dtype=np.int64),
+            level_steps,
+            arity,
+        )
+        self._functions.update(zip(keys, values.tolist()))
+        self._batch_values = values
+        self._batch_gate_slots = np.array(gate_slots, dtype=np.int64)
+        self._batch_nv = np.array(nv_list, dtype=np.int64)
+        if self.metrics is not None:
+            self.metrics.batch_cut_functions += len(gate_slots)
+            self.metrics.batch_levels += len(level_steps)
+        return len(gate_slots)
+
+    def batch_tt4s(self, num_vars: int) -> np.ndarray:
+        """Extended (``num_vars``-input) tables of all non-trivial gate cuts.
+
+        Returns the **deduplicated, sorted** tt array — the input of one
+        :meth:`repro.database.npn_db.NpnDatabase.lookup_batch` sweep.
+        Vectorized over the batch store when :meth:`compute_functions`
+        ran; otherwise derives each table through the lazy scalar memo
+        (still profitable: the downstream NPN canonization is batched
+        either way).
+        """
+        if self._batch_values is not None:
+            sel = self._batch_gate_slots
+            v = self._batch_values[sel].copy()
+            nv = self._batch_nv[sel]
+            for k in range(num_vars):
+                grow = nv <= k
+                if grow.any():
+                    v[grow] |= v[grow] << (1 << k)
+            return np.unique(v)
+        out: set[int] = set()
+        function = self.function
+        for node in self.mig.gates():
+            for leaves in self.cuts[node]:
+                if leaves == (node,):
+                    continue
+                out.add(tt_extend(function(node, leaves), len(leaves), num_vars))
+        return np.array(sorted(out), dtype=np.int64)
 
     def function(self, root: int, leaves: tuple[int, ...]) -> int:
         """Local function of cut ``(root, leaves)`` over its leaves.
@@ -424,12 +896,16 @@ class CutSet:
                 computed += 1
                 stack.pop()
                 continue
-            fan_signals, fan_leaves = prov
+            fan_signals, fan_entries = prov
             if is_maj:
-                (fa, fb, fc), (l1, l2, l3) = fan_signals, fan_leaves
+                fa, fb, fc = fan_signals
+                l1, l2, l3 = (
+                    fan_entries[0][0], fan_entries[1][0], fan_entries[2][0]
+                )
                 child_keys = ((fa >> 1, l1), (fb >> 1, l2), (fc >> 1, l3))
             else:
-                (fa, fb), (l1, l2) = fan_signals, fan_leaves
+                fa, fb = fan_signals
+                l1, l2 = fan_entries[0][0], fan_entries[1][0]
                 child_keys = ((fa >> 1, l1), (fb >> 1, l2))
             missing = [ck for ck in child_keys if ck not in functions]
             if top not in pushed:

@@ -114,6 +114,7 @@ class NetworkArrays:
         "num_gates",
         "first_gate",
         "arity",
+        "version",
         "fan_node",
         "fan_comp",
         "out_node",
@@ -135,6 +136,7 @@ class NetworkArrays:
         self.num_gates = num_gates
         self.first_gate = first_gate
         self.arity = arity
+        self.version = net.arrays_version
         flat = np.fromiter(
             chain.from_iterable(net._fanins[first_gate:]),
             dtype=np.int64,
@@ -248,7 +250,12 @@ class Network:
         self.strash_hits = 0
         self.unit_rules = 0
         self.sim_words = 0
-        self._arrays_cache: tuple[tuple[int, int], NetworkArrays] | None = None
+        #: bumped by :meth:`invalidate_arrays` after every in-place
+        #: structural edit; part of the array-view cache key, so holders
+        #: of a :class:`NetworkArrays` can detect staleness by comparing
+        #: ``view.version`` against it.
+        self.arrays_version = 0
+        self._arrays_cache: tuple[tuple[int, int, int], NetworkArrays] | None = None
         for _ in range(num_pis):
             self.add_pi()
 
@@ -396,11 +403,15 @@ class Network:
     def arrays(self) -> NetworkArrays:
         """Return the cached flat-array view of the network.
 
-        Rebuilt automatically when the node or output count changed; call
-        :meth:`invalidate_arrays` after mutating ``_fanins`` in place
-        (only fault-injection hooks and white-box tests do that).
+        Rebuilt automatically when the node or output count changed, and
+        whenever :attr:`arrays_version` was bumped.  Call
+        :meth:`invalidate_arrays` after mutating ``_fanins`` or
+        ``_outputs`` in place (only fault-injection hooks and white-box
+        tests do that) — count-preserving rewires are invisible to the
+        count-based part of the key, so skipping the call would silently
+        serve a stale view.
         """
-        key = (len(self._fanins), len(self._outputs))
+        key = (len(self._fanins), len(self._outputs), self.arrays_version)
         cached = self._arrays_cache
         if cached is not None and cached[0] == key:
             return cached[1]
@@ -409,7 +420,14 @@ class Network:
         return arrays
 
     def invalidate_arrays(self) -> None:
-        """Drop the cached array view (after in-place structural edits)."""
+        """Drop the cached array view (after in-place structural edits).
+
+        Also bumps :attr:`arrays_version` so any externally-held
+        :class:`NetworkArrays` is recognizably stale
+        (``view.version != net.arrays_version``) even if the node and
+        output counts did not change.
+        """
+        self.arrays_version += 1
         self._arrays_cache = None
 
     def fanout_counts(self) -> list[int]:
@@ -602,6 +620,40 @@ class Network:
             mapping[node] = new._make_gate(mapped)
         for s, name in zip(self._outputs, self._output_names):
             new.add_po(mapping[s >> 1] ^ (s & 1), name)
+        return new
+
+    def compact(self) -> "Network":
+        """Dead-gate removal by pure renumbering — the fast :meth:`cleanup`.
+
+        Valid only for networks whose every gate went through the facade
+        constructor (``Mig.maj`` / ``Aig.and_``): such gates already
+        satisfy the normalization invariants, and because the reachable
+        gates are renumbered monotonically (PIs map to themselves, gates
+        keep their relative order), fanin sortedness, unit-rule
+        distinctness, the ≤1-inverter form and strash uniqueness all
+        survive the mapping verbatim.  The result is then byte-identical
+        to :meth:`cleanup` — which re-applies the whole normalization
+        gate by gate — at a fraction of the cost.  The rewriting passes'
+        construction networks are the motivating case; for networks with
+        hand-assembled gates, use :meth:`cleanup`.
+        """
+        new = type(self).like(self)
+        fanins = self._fanins
+        # mapping[old_node] = uncomplemented new signal of that node
+        mapping = [0] * len(fanins)
+        for i in range(1, self.num_pis + 1):
+            mapping[i] = i << 1
+        new_fanins = new._fanins
+        strash = new._strash
+        for node in self._reachable_gates():
+            mapped = tuple(mapping[s >> 1] | (s & 1) for s in fanins[node])
+            idx = len(new_fanins)
+            new_fanins.append(mapped)
+            strash[mapped] = idx
+            mapping[node] = idx << 1
+        add_po = new.add_po
+        for s, name in zip(self._outputs, self._output_names):
+            add_po(mapping[s >> 1] | (s & 1), name)
         return new
 
     def clone(self) -> "Network":

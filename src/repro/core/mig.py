@@ -92,7 +92,7 @@ class Mig(SimulationMixin, Network):
         # Self-duality normalization: store with at most one complemented
         # fanin among {>=2 complemented}; flip all three plus output.
         out_complement = False
-        if sum(s & 1 for s in fanin) >= 2:
+        if (fanin[0] & 1) + (fanin[1] & 1) + (fanin[2] & 1) >= 2:
             fanin = tuple(sorted(signal_not(s) for s in fanin))
             out_complement = True
         node = self._strash.get(fanin)

@@ -46,6 +46,11 @@ __all__ = [
     "simulate_all_nodes",
     "simulate_words",
     "cone_function",
+    "expansion_lut",
+    "expansion_pid",
+    "expansion_lut2d",
+    "evaluate_cut_levels",
+    "evaluate_cut_program",
     "projection_int",
     "projection_columns",
     "pack_ints",
@@ -382,6 +387,216 @@ def cone_function(net: Network, root: int, leaves: Sequence[int]) -> int:
             values[node] = va & vb
         stack.pop()
     return values[root]
+
+
+# ---------------------------------------------------------------------------
+# batched cut-function programs (the rewrite pipeline's batch entry point)
+# ---------------------------------------------------------------------------
+
+_EXPANSION_LUTS: dict[tuple[int, tuple[int, ...]], np.ndarray] = {}
+
+
+def expansion_lut(dst_len: int, positions: tuple[int, ...]) -> np.ndarray:
+    """Truth-table expansion as one lookup table, vectorized and cached.
+
+    ``expansion_lut(d, p)[tt]`` re-expresses *tt* — a function of
+    ``len(p)`` variables — over ``d`` variables, where source variable
+    ``j`` becomes destination variable ``p[j]``.  Same definition as the
+    scalar ``repro.core.cuts._expand`` (shared tests); replicated here
+    because the layering forbids this module from importing above the
+    kernel.
+
+    The table covers every possible source function, so applying it to a
+    whole batch is a single fancy-index gather.  Source arity is at most
+    ``dst_len - 1 <= 3`` in practice (equal arities are the identity and
+    never reach a LUT), so tables stay tiny (<= 256 entries).
+    """
+    key = (dst_len, positions)
+    lut = _EXPANSION_LUTS.get(key)
+    if lut is None:
+        src_len = len(positions)
+        if src_len > dst_len or dst_len > 4:
+            raise ValueError(f"unsupported expansion {positions} -> {dst_len} vars")
+        # source minterm feeding each destination minterm m
+        m = np.arange(1 << dst_len, dtype=np.int64)
+        src_minterm = np.zeros_like(m)
+        for j, p in enumerate(positions):
+            src_minterm |= ((m >> p) & 1) << j
+        tts = np.arange(1 << (1 << src_len), dtype=np.int64)
+        bits = (tts[:, None] >> src_minterm[None, :]) & 1
+        lut = bits @ np.left_shift(np.int64(1), m)
+        _EXPANSION_LUTS[key] = lut
+    return lut
+
+
+# -- expansion pattern registry for flat cut programs -----------------------
+
+#: (dst_len, positions) -> row index in :func:`expansion_lut2d`; row 0 is
+#: reserved for the identity (no re-expression needed)
+_PATTERN_IDS: dict[tuple[int, tuple[int, ...]], int] = {}
+
+#: stacked expansion tables, one row per registered pattern, every row
+#: padded to 2**16 columns so ``lut2d[pids, tts]`` is a single gather.
+#: Row 0 is the identity.  Capacity grows geometrically (appending a
+#: row must not copy the whole table — registrations happen mid-
+#: enumeration); the universe of patterns for 4-variable cuts is ~20
+#: rows (~10 MB), registered once per process.
+_LUT2D: np.ndarray | None = None
+_LUT2D_ROWS = 0
+
+
+def expansion_pid(dst_len: int, positions: tuple[int, ...]) -> int:
+    """Register (or look up) an expansion pattern; returns its LUT2D row.
+
+    ``expansion_lut2d()[pid][tt]`` equals ``expansion_lut(dst_len,
+    positions)[tt]`` for every source table *tt*.  Pattern id 0 is the
+    identity and is never returned here — callers use 0 directly when a
+    child cut already lives on the destination leaf set.
+    """
+    global _LUT2D, _LUT2D_ROWS
+    key = (dst_len, positions)
+    pid = _PATTERN_IDS.get(key)
+    if pid is None:
+        if _LUT2D is None:
+            _LUT2D = np.empty((8, 1 << 16), dtype=np.int64)
+            _LUT2D[0] = np.arange(1 << 16, dtype=np.int64)
+            _LUT2D_ROWS = 1
+        elif _LUT2D_ROWS == _LUT2D.shape[0]:
+            grown = np.empty((2 * _LUT2D.shape[0], 1 << 16), dtype=np.int64)
+            grown[:_LUT2D_ROWS] = _LUT2D
+            _LUT2D = grown
+        lut = expansion_lut(dst_len, positions)
+        pid = _LUT2D_ROWS
+        row = _LUT2D[pid]
+        # Source tables have len(positions) variables, so only the first
+        # 2**2**len(positions) columns are ever indexed.
+        row[: lut.size] = lut
+        row[lut.size :] = 0
+        _LUT2D_ROWS = pid + 1
+        _PATTERN_IDS[key] = pid
+    return pid
+
+
+def expansion_lut2d() -> np.ndarray:
+    """The stacked expansion table behind :func:`expansion_pid` (a view)."""
+    global _LUT2D, _LUT2D_ROWS
+    if _LUT2D is None:
+        _LUT2D = np.empty((8, 1 << 16), dtype=np.int64)
+        _LUT2D[0] = np.arange(1 << 16, dtype=np.int64)
+        _LUT2D_ROWS = 1
+    return _LUT2D[: _LUT2D_ROWS]
+
+
+def evaluate_cut_program(
+    num_slots: int,
+    init_idx: np.ndarray,
+    init_vals: np.ndarray,
+    lev: np.ndarray,
+    out_idx: np.ndarray,
+    out_mask: np.ndarray,
+    child_idx: np.ndarray,
+    comp_mask: np.ndarray,
+    pid: np.ndarray,
+    arity: int,
+) -> np.ndarray:
+    """Run a flat cut-function program; returns the per-slot tables.
+
+    The fast sibling of :func:`evaluate_cut_levels`: instead of one
+    python-built step tuple per network level, the whole program arrives
+    as flat arrays — one row per gate cut, ``(n, arity)`` child slots /
+    complement masks / expansion pattern ids — already levelized by
+    *lev*, the cut's depth in the **provenance DAG** (1 + max child
+    level).  Provenance depth is bounded by the cut cone depth, not the
+    network depth, so deep chain-shaped networks compress into a handful
+    of wide sweeps.  Per level, one ``lut2d[pid, values[child]]`` gather
+    re-expresses every fanin table onto its cut's leaf set in a single
+    fancy index — no per-group scatter loops.
+
+    Results are bit-identical to the scalar ``CutSet.function``
+    derivation (same expansion tables, same gate semantics).
+    """
+    if arity not in (2, 3):
+        raise ValueError(f"unsupported gate arity {arity}")
+    values = np.zeros(num_slots, dtype=np.int64)
+    if init_idx.size:
+        values[init_idx] = init_vals
+    n = out_idx.size
+    if not n:
+        return values
+    order = np.argsort(lev, kind="stable")
+    lev = lev[order]
+    out_idx = out_idx[order]
+    out_mask = out_mask[order]
+    child_idx = child_idx[order]
+    comp_mask = comp_mask[order]
+    pid = pid[order]
+    lut2d = expansion_lut2d()
+    starts = np.unique(lev, return_index=True)[1]
+    bounds = np.append(starts[1:], n)
+    for s, e in zip(starts.tolist(), bounds.tolist()):
+        v = lut2d[pid[s:e], values[child_idx[s:e]]] ^ comp_mask[s:e]
+        if arity == 3:
+            a, b, c = v[:, 0], v[:, 1], v[:, 2]
+            res = (a & b) | (a & c) | (b & c)
+        else:
+            res = v[:, 0] & v[:, 1]
+        values[out_idx[s:e]] = res & out_mask[s:e]
+    return values
+
+
+def evaluate_cut_levels(
+    num_slots: int,
+    init_idx: np.ndarray,
+    init_vals: np.ndarray,
+    levels: Sequence[tuple],
+    arity: int,
+) -> np.ndarray:
+    """Run a compiled cut-function program; returns the per-slot tables.
+
+    This is the batch counterpart of :func:`cone_function` /
+    ``CutSet.function``: instead of deriving one cut truth table at a
+    time through Python bigint recursion, the compiler
+    (``repro.core.cuts.CutSet.compute_functions``) flattens the cut
+    provenance DAG into per-level steps and this executor evaluates a
+    whole level of cuts per numpy sweep.
+
+    * ``num_slots`` — total number of cut slots (one int64 table each);
+    * ``init_idx`` / ``init_vals`` — slots with known seed tables
+      (trivial cuts, PI projections, the constant cut);
+    * ``levels`` — one step per network level, each a tuple
+      ``(out_idx, out_mask, pos_steps)`` where ``pos_steps`` holds, per
+      gate fanin position, ``(child_idx, comp_mask, groups)``: the child
+      slot to gather, the per-cut complement mask (0 or the width mask),
+      and ``groups`` — ``(lut, sel)`` pairs applying
+      :func:`expansion_lut` tables to the sub-batches that need leaf
+      re-expression;
+    * ``arity`` — 3 combines positions with majority, 2 with AND.
+
+    Every step reads only slots written by earlier levels (or seeds), so
+    one pass over *levels* completes the whole DAG.
+    """
+    if arity not in (2, 3):
+        raise ValueError(f"unsupported gate arity {arity}")
+    values = np.zeros(num_slots, dtype=np.int64)
+    if init_idx.size:
+        values[init_idx] = init_vals
+    for out_idx, out_mask, pos_steps in levels:
+        operands = []
+        for child_idx, comp_mask, groups in pos_steps:
+            v = values[child_idx]
+            for lut, sel in groups:
+                v[sel] = lut[v[sel]]
+            v ^= comp_mask
+            operands.append(v)
+        if arity == 3:
+            a, b, c = operands
+            res = (a & b) | (a & c) | (b & c)
+        else:
+            a, b = operands
+            res = a & b
+        res &= out_mask
+        values[out_idx] = res
+    return values
 
 
 # ---------------------------------------------------------------------------

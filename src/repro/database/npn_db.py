@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import IO, Iterable
 
 from ..core.mig import Mig, signal_not
-from ..core.npn import apply_transform, npn_canonize
+from ..core.npn import NPNTransform, apply_transform, npn_canonize, npn_canonize_batch
 from ..core.truth_table import tt_mask
 from ..runtime.faults import fault_active
 
@@ -217,6 +217,55 @@ class NpnDatabase:
             entry = replace(entry, output=entry.output ^ 1, size=0)
         return entry, transform
 
+    def lookup_batch(
+        self, tts
+    ) -> dict[int, "tuple[DbEntry, NPNTransform] | None"]:
+        """Precompute lookup results for many functions in one sweep.
+
+        Canonizes every function through the vectorized
+        :func:`repro.core.npn.npn_canonize_batch` (bit-identical to the
+        scalar path, tie-breaks included) and maps each to its database
+        answer — ``(entry, transform)`` or ``None`` for a class without
+        an entry.  The returned table is **inert**: building it touches
+        no counters and no fault hooks; those fire per consult in
+        :meth:`lookup_in`, exactly as :meth:`lookup` fires them per call.
+        """
+        tt_list = [int(t) for t in tts]
+        table: dict[int, tuple[DbEntry, NPNTransform] | None] = {}
+        entries = self.entries
+        for tt, (rep, transform) in zip(
+            tt_list, npn_canonize_batch(tt_list, self.num_vars)
+        ):
+            entry = entries.get(rep)
+            table[tt] = None if entry is None else (entry, transform)
+        return table
+
+    def lookup_in(
+        self, tt: int, table: dict[int, "tuple[DbEntry, NPNTransform] | None"]
+    ) -> tuple[DbEntry, "object"]:
+        """:meth:`lookup` answered from a :meth:`lookup_batch` table.
+
+        Same observable contract as :meth:`lookup` — counters, the
+        ``db.corrupt-entry`` fault hook, ``KeyError`` on a class without
+        an entry — with the canonization already paid.  Functions outside
+        the table (callers consulting beyond the precomputed cut set)
+        fall back to a live scalar canonization.
+        """
+        self.lookups += 1
+        try:
+            found = table[tt]
+        except KeyError:
+            rep, transform = npn_canonize(tt, self.num_vars)
+            entry = self.entries.get(rep)
+            found = None if entry is None else (entry, transform)
+        if found is None:
+            self.lookup_misses += 1
+            raise KeyError(f"no database entry for the NPN class of 0x{tt:x}")
+        entry, transform = found
+        if fault_active("db.corrupt-entry"):
+            entry = replace(entry, output=entry.output ^ 1, size=0)
+        return entry, transform
+
     def size_of(self, tt: int) -> int:
         """Best-known MIG size for function *tt*."""
         return self.lookup(tt)[0].size
@@ -229,9 +278,19 @@ class NpnDatabase:
         complemented) leaf signal according to the NPN transform, and the
         output polarity is applied.  Returns the signal computing *tt*.
         """
+        entry, t = self.lookup(tt)
+        return self.rebuild_entry(mig, entry, t, leaf_signals)
+
+    def rebuild_entry(
+        self, mig: Mig, entry: DbEntry, t, leaf_signals: list[int]
+    ) -> int:
+        """:meth:`rebuild` with the ``(entry, transform)`` already in hand.
+
+        Rewriters that looked the function up once (for the gain check)
+        thread the pair through instead of paying a second canonization.
+        """
         if len(leaf_signals) != self.num_vars:
             raise ValueError(f"expected {self.num_vars} leaves, got {len(leaf_signals)}")
-        entry, t = self.lookup(tt)
         # Representative input j is driven by leaf perm[j], maybe inverted.
         input_signals = []
         for j in range(self.num_vars):
@@ -251,6 +310,12 @@ class NpnDatabase:
     def instantiated_depth(self, tt: int, leaf_levels: list[int]) -> int:
         """Depth of the rebuilt structure given the levels of the cut leaves."""
         entry, t = self.lookup(tt)
+        return self.instantiated_depth_entry(entry, t, leaf_levels)
+
+    def instantiated_depth_entry(
+        self, entry: DbEntry, t, leaf_levels: list[int]
+    ) -> int:
+        """:meth:`instantiated_depth` with ``(entry, transform)`` in hand."""
         pins = self._pin_depth_cache.get(entry.rep)
         if pins is None:
             pins = entry.pin_depths()

@@ -1,6 +1,7 @@
 """Benchmark circuit generators (EPFL arithmetic suite equivalents)."""
 
 from .words import WordBuilder
+from .random_layered import layered_mig
 from .epfl import (
     SUITE_SPECS,
     adder,
@@ -16,6 +17,7 @@ from .epfl import (
 
 __all__ = [
     "WordBuilder",
+    "layered_mig",
     "SUITE_SPECS",
     "arithmetic_suite",
     "adder",

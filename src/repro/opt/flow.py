@@ -126,6 +126,7 @@ def _miscompiled(mig: Mig) -> Mig:
     """Deliberately wrong copy of *mig* (first output inverted) — fault hook."""
     bad = mig.clone()
     bad._outputs[0] = signal_not(bad._outputs[0])
+    bad.invalidate_arrays()
     return bad
 
 
@@ -142,6 +143,7 @@ def _structure_corrupted(mig: Mig) -> Mig:
         if fanin is not None and fanin[0] != fanin[2]:
             bad._fanins[node] = tuple(reversed(fanin))
             break
+    bad.invalidate_arrays()
     return bad
 
 

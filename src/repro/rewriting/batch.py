@@ -1,0 +1,106 @@
+"""Batch policy and precompute shared by the rewriting passes.
+
+The array-native hot path (docs/PERFORMANCE.md) has two independently
+useful stages:
+
+1. **Function batch** — :meth:`repro.core.cuts.CutSet.compute_functions`
+   evaluates every enumerated cut truth table level-by-level through the
+   simulation engine, so a whole level costs a handful of numpy ops.
+2. **Lookup batch** — :meth:`repro.core.cuts.CutSet.batch_tt4s` collects
+   the deduplicated extended tables and
+   :meth:`repro.database.npn_db.NpnDatabase.lookup_batch` canonizes them
+   in one vectorized NPN sweep; the rewriter then answers each per-cut
+   consult from the resulting table via ``db.lookup_in``.
+
+Both stages are bit-identical to the scalar pipeline (same expansion
+definition, same canonical tie-breaks), so the *chosen rewrites cannot
+differ* — only where the arithmetic runs.  ``tests/rewriting/
+test_differential.py`` pins this against a frozen scalar oracle.
+
+The ``batch`` parameter accepted by the rewriters and by
+:func:`repro.rewriting.engine.functional_hashing`:
+
+``False``
+    fully scalar pipeline (the pre-batch behaviour).
+``"auto"`` (default)
+    engage both stages on networks with at least :data:`BATCH_MIN_GATES`
+    gates.  The function batch used to require a width heuristic on top
+    (level-parallel evaluation had a post-hoc compile step to amortize);
+    since the program is recorded *during* enumeration and executes over
+    provenance-DAG levels — bounded by cut cone depth, not network depth
+    — it pays off on chain-shaped networks too, so gate count is the
+    only gate.
+``True`` / ``"full"``
+    force both stages regardless of size (tiny-network coverage in the
+    differential tests rides on this).
+
+This module deliberately imports no numpy: the arrays flow opaquely from
+``CutSet`` to ``NpnDatabase`` (enforced by ``tools/check_layers.py`` —
+rewriting passes orchestrate batches, the kernel layer owns the math).
+"""
+
+from __future__ import annotations
+
+from ..core.cuts import CutSet
+from ..database.npn_db import NpnDatabase
+from ..runtime.metrics import PassMetrics
+
+__all__ = [
+    "BATCH_MIN_GATES",
+    "resolve_batch",
+    "prepare_lookup_table",
+]
+
+#: Below this gate count the scalar loop wins — batch setup is pure
+#: overhead on networks that rewrite in well under a millisecond.  The
+#: bound sat at 128 while the function batch carried a post-hoc compile
+#: step; with the program recorded during enumeration the crossover is
+#: much earlier — even a 96-gate adder spends milliseconds on cold
+#: scalar canonizations the vectorized NPN sweep amortizes.
+BATCH_MIN_GATES = 32
+
+
+def resolve_batch(batch, num_gates: int, depth: int) -> tuple[bool, bool]:
+    """Return ``(function_batch, lookup_batch)`` for a ``batch`` setting.
+
+    *depth* is accepted for interface stability; the former width
+    heuristic it fed is obsolete now that the batch program rides along
+    enumeration (see the module docstring).
+    """
+    if batch is False:
+        return False, False
+    if batch is True or batch == "full":
+        return True, True
+    if batch == "auto":
+        engage = num_gates >= BATCH_MIN_GATES
+        return engage, engage
+    raise ValueError(
+        f"batch must be False, True, 'auto' or 'full', got {batch!r}"
+    )
+
+
+def prepare_lookup_table(
+    cuts: CutSet,
+    db: NpnDatabase,
+    function_batch: bool,
+    lookup_batch: bool,
+    metrics: PassMetrics | None = None,
+):
+    """Run the enabled precompute stages; return the lookup table or ``None``.
+
+    With the table in hand a rewriter consults ``db.lookup_in(tt, table)``
+    instead of ``db.lookup(tt)`` — identical contract (counters, fault
+    hooks, ``KeyError`` on miss), canonization already paid.  ``None``
+    means "stay fully scalar".  A cut set the batch evaluator cannot
+    handle (cuts wider than 4 inputs, missing provenance) silently falls
+    back to collecting the tables through the scalar memo — the NPN sweep
+    is still batched.
+    """
+    if not lookup_batch:
+        return None
+    if function_batch:
+        cuts.compute_functions()
+    table = db.lookup_batch(cuts.batch_tt4s(db.num_vars))
+    if metrics is not None:
+        metrics.batch_npn_lookups += len(table)
+    return table

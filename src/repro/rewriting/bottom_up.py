@@ -25,21 +25,27 @@ merge; and every event is counted in an optional
 from __future__ import annotations
 
 from bisect import insort
-from dataclasses import dataclass
 from itertools import product
+from typing import NamedTuple
 
 from ..core.cuts import cut_cone_nodes, enumerate_cut_set
 from ..core.mig import CONST0, Mig, make_signal
 from ..core.truth_table import tt_extend
 from ..database.npn_db import NpnDatabase
 from ..runtime.metrics import PassMetrics
+from .batch import prepare_lookup_table, resolve_batch
 
 __all__ = ["rewrite_bottom_up"]
 
 
-@dataclass(frozen=True)
-class _Candidate:
-    """A candidate implementation of a node in the new network."""
+class _Candidate(NamedTuple):
+    """A candidate implementation of a node in the new network.
+
+    A NamedTuple rather than a (frozen) dataclass: one is built per
+    visited node plus one per rebuilt implementation, and the tuple
+    constructor is measurably cheaper than ``object.__setattr__`` per
+    field on the hot path.
+    """
 
     signal: int
     size: int
@@ -55,10 +61,46 @@ def _insert(
     former sort-on-every-insert; with the tiny per-node candidate limits
     this loop runs for every (cut, leaf-combination) pair, which made the
     repeated full sorts a measurable slice of the bottom-up pass.
+
+    A candidate for an already-present signal replaces the stored entry
+    when its (size, depth) estimate is better: different cuts reach the
+    same strashed signal with different leaf combinations, and keeping
+    the first-seen (possibly worse) estimate would overstate the cost of
+    every candidate built on top of this node downstream.
+
+    Stored candidates are additionally kept dominance-free: a candidate
+    no better than an existing one on *both* axes wastes a slot the
+    sorted-by-size order would otherwise hand to a deeper-but-smaller
+    (or shallower-but-larger) alternative — the insort key alone cannot
+    see that an equal-size entry is strictly worse on depth.  Exact
+    (size, depth) ties between different signals are kept: they cost the
+    same but offer distinct sharing opportunities downstream.
     """
-    for existing in candidates:
+    dup = None
+    for i, existing in enumerate(candidates):
         if existing.signal == new.signal:
-            return candidates
+            if (new.size, new.depth) >= (existing.size, existing.depth):
+                return candidates
+            dup = i
+            break
+    if any(
+        existing.size <= new.size
+        and existing.depth <= new.depth
+        and (existing.size, existing.depth) != (new.size, new.depth)
+        for existing in candidates
+    ):
+        return candidates
+    if dup is not None:
+        del candidates[dup]
+    candidates[:] = [
+        existing
+        for existing in candidates
+        if not (
+            new.size <= existing.size
+            and new.depth <= existing.depth
+            and (new.size, new.depth) != (existing.size, existing.depth)
+        )
+    ]
     if len(candidates) >= limit:
         worst = candidates[-1]
         if (new.size, new.depth) >= (worst.size, worst.depth):
@@ -77,14 +119,26 @@ def rewrite_bottom_up(
     cut_limit: int = 8,
     candidate_limit: int = 3,
     combination_limit: int = 16,
+    batch="auto",
     metrics: PassMetrics | None = None,
 ) -> Mig:
-    """Run one bottom-up functional-hashing pass; returns the optimized MIG."""
+    """Run one bottom-up functional-hashing pass; returns the optimized MIG.
+
+    ``batch`` selects the array-native precompute (see
+    :mod:`repro.rewriting.batch`); every setting chooses byte-identical
+    rewrites — only where the truth-table and NPN arithmetic runs moves.
+    """
     if cut_size > db.num_vars:
         raise ValueError(f"cut size {cut_size} exceeds database arity {db.num_vars}")
     if metrics is None:
         metrics = PassMetrics()
     fanout = mig.fanout_counts()
+    levels = mig.levels()
+    # Resolved *before* enumeration so the merge loop can record the
+    # batch program inline (see repro.core.cuts._CutProgram).
+    function_batch, lookup_batch = resolve_batch(
+        batch, mig.num_gates, max(levels, default=0)
+    )
     with metrics.phase("enumerate"):
         # F-variants enumerate only fanout-free cuts (shared gates become
         # leaves), so no per-cut admissibility walk is needed later.
@@ -94,31 +148,51 @@ def rewrite_bottom_up(
             cut_limit=cut_limit,
             metrics=metrics,
             ffr_fanout=fanout if fanout_free else None,
+            compile_functions=function_batch,
         )
-    levels = mig.levels()
+    with metrics.phase("batch"):
+        table = prepare_lookup_table(
+            cuts, db, function_batch, lookup_batch, metrics
+        )
     new = Mig.like(mig)
 
-    cand: dict[int, list[_Candidate]] = {0: [_Candidate(CONST0, 0, 0)]}
+    cand: list[list[_Candidate] | None] = [None] * mig.num_nodes
+    cand[0] = [_Candidate(CONST0, 0, 0)]
     for i in range(1, mig.num_pis + 1):
         cand[i] = [_Candidate(make_signal(i), 0, 0)]
 
     # Counters stay in locals inside the hot loop and are flushed into
     # *metrics* once per pass — attribute stores per cut are measurable.
     considered = admitted_total = rebuilt = db_hits = db_misses = 0
-    rejected: dict[str, int] = {}
+    trivial_r = invalid_r = miss_r = no_gain_r = depth_r = 0
+    cf_hits = 0
     cut_function = cuts.function
-    cone_size = cuts.cone_size
-    db_lookup = db.lookup
+    functions_get = cuts._functions.get
+    if table is None:
+        db_lookup = db.lookup
+    else:
+        db_lookup = lambda tt: db.lookup_in(tt, table)  # noqa: E731
     num_vars = db.num_vars
+    new_maj = new.maj
+    instantiated_depth_entry = db.instantiated_depth_entry
+    rebuild_entry = db.rebuild_entry
+    all_entries = cuts.entries
+    # With the compiled batch in place every cut answers from one list
+    # index into the per-slot extended tables; otherwise the loop stays
+    # on the (node, leaves)-keyed memo.
+    slot_tables = cuts.slot_tables(num_vars) if table is not None else None
+    pad_signals = [CONST0] * num_vars
+    pad_depths = [0] * num_vars
 
     with metrics.phase("rewrite"):
         for node in mig.gates():
-            entries: list[_Candidate] = []
             # Baseline candidate: rebuild the node from its fanins' best.
             a, b, c = mig.fanins(node)
-            best_a, best_b, best_c = (cand[a >> 1][0], cand[b >> 1][0], cand[c >> 1][0])
+            best_a = cand[a >> 1][0]
+            best_b = cand[b >> 1][0]
+            best_c = cand[c >> 1][0]
             baseline = _Candidate(
-                new.maj(
+                new_maj(
                     best_a.signal ^ (a & 1),
                     best_b.signal ^ (b & 1),
                     best_c.signal ^ (c & 1),
@@ -126,37 +200,47 @@ def rewrite_bottom_up(
                 1 + best_a.size + best_b.size + best_c.size,
                 1 + max(best_a.depth, best_b.depth, best_c.depth),
             )
-            entries = _insert(entries, baseline, candidate_limit)
+            entries = _insert([], baseline, candidate_limit)
 
-            for leaves in cuts[node]:
+            for cut_entry in all_entries[node]:
+                leaves = cut_entry[0]
                 if leaves == (node,) or node in leaves:
-                    rejected["trivial"] = rejected.get("trivial", 0) + 1
+                    trivial_r += 1
                     continue
                 considered += 1
                 if fanout_free:
                     # Restricted enumeration: fanout-free by construction,
-                    # exact cone size known from the merge.
-                    cone_gates = cone_size(node, leaves)
-                    if cone_gates is None:
-                        rejected["invalid-cone"] = (
-                            rejected.get("invalid-cone", 0) + 1
-                        )
-                        continue
+                    # exact cone size rode along from the merge.
+                    cone_gates = cut_entry[2]
                 else:
                     internal = cut_cone_nodes(mig, node, leaves, None)
                     if internal is None:
-                        rejected["invalid-cone"] = (
-                            rejected.get("invalid-cone", 0) + 1
-                        )
+                        invalid_r += 1
                         continue
                     cone_gates = len(internal)
-                tt = cut_function(node, leaves)
-                tt4 = tt_extend(tt, len(leaves), num_vars)
+                num_leaves = len(leaves)
+                if slot_tables is not None:
+                    # Batch fast path: the slot's table is already
+                    # extended to num_vars — a straight list index.
+                    tt4 = slot_tables[cut_entry[3]]
+                    cf_hits += 1
+                else:
+                    # Memo probe inlined (same bookkeeping as
+                    # cuts.function's fast path, counter flushed below).
+                    tt = functions_get((node, leaves))
+                    if tt is None:
+                        tt = cut_function(node, leaves)
+                    else:
+                        cf_hits += 1
+                    tt4 = (
+                        tt if num_leaves == num_vars
+                        else tt_extend(tt, num_leaves, num_vars)
+                    )
                 try:
-                    entry, _ = db_lookup(tt4)
+                    entry, transform = db_lookup(tt4)
                 except KeyError:
                     db_misses += 1
-                    rejected["db-miss"] = rejected.get("db-miss", 0) + 1
+                    miss_r += 1
                     continue
                 db_hits += 1
                 # Algorithm 2 admits replacements "that reduce the size";
@@ -164,26 +248,28 @@ def rewrite_bottom_up(
                 # mode, where they may still help depth.
                 gain = cone_gates - entry.size
                 if gain < 0 or (gain == 0 and not depth_preserving):
-                    rejected["no-gain"] = rejected.get("no-gain", 0) + 1
+                    no_gain_r += 1
                     continue
                 leaf_options = [cand[leaf][:2] for leaf in leaves]
+                pad_s = pad_signals[num_leaves:]
+                pad_d = pad_depths[num_leaves:]
                 combos = 0
                 admitted = False
                 for combo in product(*leaf_options):
                     combos += 1
                     if combos > combination_limit:
                         break
-                    leaf_signals = [cnd.signal for cnd in combo]
-                    leaf_signals += [CONST0] * (num_vars - len(leaves))
-                    leaf_depths = [cnd.depth for cnd in combo]
-                    leaf_depths += [0] * (num_vars - len(leaves))
-                    depth = db.instantiated_depth(tt4, leaf_depths)
+                    leaf_depths = [cnd.depth for cnd in combo] + pad_d
+                    depth = instantiated_depth_entry(
+                        entry, transform, leaf_depths
+                    )
                     if depth_preserving and depth > levels[node]:
                         continue
                     if gain == 0 and depth >= levels[node]:
                         continue  # equal size must at least improve depth
                     size = entry.size + sum(cnd.size for cnd in combo)
-                    signal = db.rebuild(new, tt4, leaf_signals)
+                    leaf_signals = [cnd.signal for cnd in combo] + pad_s
+                    signal = rebuild_entry(new, entry, transform, leaf_signals)
                     rebuilt += 1
                     admitted = True
                     entries = _insert(
@@ -192,9 +278,7 @@ def rewrite_bottom_up(
                 if admitted:
                     admitted_total += 1
                 else:
-                    rejected["depth-increase"] = (
-                        rejected.get("depth-increase", 0) + 1
-                    )
+                    depth_r += 1
             cand[node] = entries
 
         for s, name in zip(mig.outputs, mig.output_names):
@@ -202,15 +286,28 @@ def rewrite_bottom_up(
             new.add_po(best.signal ^ (s & 1), name)
 
     metrics.nodes_visited += mig.num_gates
+    metrics.cut_function_cache_hits += cf_hits
     metrics.cuts_considered += considered
     metrics.cuts_admitted += admitted_total
     metrics.nodes_rebuilt += rebuilt
     metrics.db_hits += db_hits
     metrics.db_misses += db_misses
+    rejected = {
+        "trivial": trivial_r,
+        "invalid-cone": invalid_r,
+        "db-miss": miss_r,
+        "no-gain": no_gain_r,
+        "depth-increase": depth_r,
+    }
     for reason, count in rejected.items():
-        metrics.cuts_rejected[reason] = metrics.cuts_rejected.get(reason, 0) + count
+        if count:
+            metrics.cuts_rejected[reason] = (
+                metrics.cuts_rejected.get(reason, 0) + count
+            )
     with metrics.phase("cleanup"):
-        result = new.cleanup()
+        # The construction network only ever saw new.maj, so the
+        # renumbering fast path is byte-identical to cleanup().
+        result = new.compact()
     # Kernel counters of the construction network and the cleaned copy.
     metrics.record_network(new)
     metrics.record_network(result)

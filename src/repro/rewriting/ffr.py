@@ -28,13 +28,11 @@ def ffr_roots(mig: Mig, fanout: list[int] | None = None) -> list[int]:
     """
     if fanout is None:
         fanout = mig.fanout_counts()
-    is_po_node = [False] * mig.num_nodes
-    for s in mig.outputs:
-        is_po_node[s >> 1] = True
+    po_nodes = {s >> 1 for s in mig.outputs}
     return [
         node
         for node in mig.gates()
-        if is_po_node[node] or fanout[node] != 1
+        if node in po_nodes or fanout[node] != 1
     ]
 
 

@@ -37,6 +37,7 @@ from ..core.mig import CONST0, Mig, make_signal
 from ..core.truth_table import tt_extend
 from ..database.npn_db import NpnDatabase
 from ..runtime.metrics import PassMetrics
+from .batch import prepare_lookup_table, resolve_batch
 
 __all__ = ["rewrite_top_down"]
 
@@ -48,14 +49,26 @@ def rewrite_top_down(
     fanout_free: bool = False,
     cut_size: int = 4,
     cut_limit: int = 12,
+    batch="auto",
     metrics: PassMetrics | None = None,
 ) -> Mig:
-    """Run one top-down functional-hashing pass; returns the optimized MIG."""
+    """Run one top-down functional-hashing pass; returns the optimized MIG.
+
+    ``batch`` selects the array-native precompute (see
+    :mod:`repro.rewriting.batch`); every setting chooses byte-identical
+    rewrites — only where the truth-table and NPN arithmetic runs moves.
+    """
     if cut_size > db.num_vars:
         raise ValueError(f"cut size {cut_size} exceeds database arity {db.num_vars}")
     if metrics is None:
         metrics = PassMetrics()
     fanout = mig.fanout_counts()
+    levels = mig.levels()
+    # Resolved *before* enumeration so the merge loop can record the
+    # batch program inline (see repro.core.cuts._CutProgram).
+    function_batch, lookup_batch = resolve_batch(
+        batch, mig.num_gates, max(levels, default=0)
+    )
     with metrics.phase("enumerate"):
         # F-variants enumerate only fanout-free cuts (shared gates become
         # leaves), so no per-cut admissibility walk is needed later.
@@ -65,17 +78,29 @@ def rewrite_top_down(
             cut_limit=cut_limit,
             metrics=metrics,
             ffr_fanout=fanout if fanout_free else None,
+            compile_functions=function_batch,
         )
-    levels = mig.levels()
+    with metrics.phase("batch"):
+        table = prepare_lookup_table(
+            cuts, db, function_batch, lookup_batch, metrics
+        )
+    if table is None:
+        db_lookup = db.lookup
+    else:
+        db_lookup = lambda tt: db.lookup_in(tt, table)  # noqa: E731
     new = Mig.like(mig)
 
     memo: dict[int, int] = {0: 0}
     for i in range(1, mig.num_pis + 1):
         memo[i] = make_signal(i)
 
-    def best_cut(node: int) -> tuple[tuple[int, ...], int] | None:
-        """Pick the admissible cut with the largest estimated reduction."""
-        best: tuple[int, tuple[int, ...], int] | None = None
+    def best_cut(node: int):
+        """Pick the admissible cut with the largest estimated reduction.
+
+        Returns ``(leaves, entry, transform)`` — the database answer is
+        threaded to the emit step so rebuilding pays no second lookup.
+        """
+        best = None
         for leaves in cuts[node]:
             if leaves == (node,) or node in leaves:
                 metrics.reject("trivial")
@@ -97,7 +122,7 @@ def rewrite_top_down(
             tt = cuts.function(node, leaves)
             tt4 = tt_extend(tt, len(leaves), db.num_vars)
             try:
-                entry, _ = db.lookup(tt4)
+                entry, transform = db_lookup(tt4)
             except KeyError:
                 metrics.db_misses += 1
                 metrics.reject("db-miss")
@@ -110,23 +135,23 @@ def rewrite_top_down(
             if depth_preserving:
                 leaf_levels = [levels[leaf] for leaf in leaves]
                 leaf_levels += [0] * (db.num_vars - len(leaves))
-                new_level = db.instantiated_depth(tt4, leaf_levels)
+                new_level = db.instantiated_depth_entry(entry, transform, leaf_levels)
                 if new_level > levels[node]:
                     metrics.reject("depth-increase")
                     continue
             metrics.cuts_admitted += 1
             if best is None or gain > best[0]:
-                best = (gain, leaves, tt4)
+                best = (gain, leaves, entry, transform)
         if best is None:
             return None
-        return best[1], best[2]
+        return best[1], best[2], best[3]
 
     # Iterative replacement for the natural recursion: each node is
     # visited twice — first to decide (best cut vs. structural copy) and
     # schedule its dependencies, then to emit its signal once all
     # dependencies are memoized.  The chosen cut is cached between the
     # two visits so best_cut runs at most once per node.
-    choice_cache: dict[int, tuple[tuple[int, ...], int] | None] = {}
+    choice_cache: dict = {}
 
     def opt(root: int) -> int:
         stack = [root]
@@ -148,10 +173,10 @@ def rewrite_top_down(
                 stack.extend(missing)
                 continue
             if choice is not None:
-                leaves, tt4 = choice
+                leaves, entry, transform = choice
                 leaf_signals = [memo[leaf] for leaf in leaves]
                 leaf_signals += [CONST0] * (db.num_vars - len(leaves))
-                signal = db.rebuild(new, tt4, leaf_signals)
+                signal = db.rebuild_entry(new, entry, transform, leaf_signals)
                 metrics.nodes_rebuilt += 1
             else:
                 a, b, c = mig.fanins(node)
@@ -168,7 +193,9 @@ def rewrite_top_down(
         for s, name in zip(mig.outputs, mig.output_names):
             new.add_po(opt(s >> 1) ^ (s & 1), name)
     with metrics.phase("cleanup"):
-        result = new.cleanup()
+        # The construction network only ever saw new.maj, so the
+        # renumbering fast path is byte-identical to cleanup().
+        result = new.compact()
     # Kernel counters of the construction network and the cleaned copy.
     metrics.record_network(new)
     metrics.record_network(result)

@@ -164,6 +164,16 @@ class ResultCache:
             or entry.get("version") != _ENTRY_VERSION
             or not isinstance(entry.get("result"), dict)
         ):
+            if entry is None and not path.exists():
+                # The read failed because the entry vanished mid-load —
+                # a concurrent eviction or a sibling worker's quarantine,
+                # not on-disk rot.  Plain miss; quarantining here would
+                # fabricate a ``.corrupt`` tombstone for a healthy cache
+                # and inflate the corruption counter on every race.
+                with self._lock:
+                    self.misses += 1
+                    self._sizes.pop(key, None)
+                return None
             quarantine(path)
             with self._lock:
                 self.corrupt += 1

@@ -72,6 +72,12 @@ class PassMetrics:
     cut_functions_computed: int = 0
     #: cut truth tables answered by the per-pass (node, leaves) memo
     cut_function_cache_hits: int = 0
+    #: cut truth tables produced by the level-batched array evaluator
+    batch_cut_functions: int = 0
+    #: compiled network levels swept by the batch evaluator
+    batch_levels: int = 0
+    #: unique functions canonized through a vectorized lookup_batch sweep
+    batch_npn_lookups: int = 0
     #: SAT solver counters accumulated from exact-synthesis calls; the
     #: ``sat_*`` keys match SynthesisResult and benchmarks/bench_exact.py
     sat_conflicts: int = 0
@@ -139,6 +145,9 @@ class PassMetrics:
         self.npn_cache_misses += other.npn_cache_misses
         self.cut_functions_computed += other.cut_functions_computed
         self.cut_function_cache_hits += other.cut_function_cache_hits
+        self.batch_cut_functions += other.batch_cut_functions
+        self.batch_levels += other.batch_levels
+        self.batch_npn_lookups += other.batch_npn_lookups
         self.sat_conflicts += other.sat_conflicts
         self.sat_propagations += other.sat_propagations
         self.sat_decisions += other.sat_decisions
@@ -179,6 +188,11 @@ class PassMetrics:
         )
 
     @property
+    def batch_function_fraction(self) -> float:
+        """Fraction of computed cut functions produced by the batch path."""
+        return self._rate(self.batch_cut_functions, self.cut_functions_computed)
+
+    @property
     def total_seconds(self) -> float:
         """Sum of all recorded phase times."""
         return sum(self.phase_seconds.values())
@@ -204,6 +218,10 @@ class PassMetrics:
             "cut_functions_computed": self.cut_functions_computed,
             "cut_function_cache_hits": self.cut_function_cache_hits,
             "cut_function_hit_rate": round(self.cut_function_hit_rate, 4),
+            "batch_cut_functions": self.batch_cut_functions,
+            "batch_levels": self.batch_levels,
+            "batch_npn_lookups": self.batch_npn_lookups,
+            "batch_function_fraction": round(self.batch_function_fraction, 4),
             "sat_conflicts": self.sat_conflicts,
             "sat_propagations": self.sat_propagations,
             "sat_decisions": self.sat_decisions,
@@ -231,6 +249,9 @@ class PassMetrics:
             "npn_cache_misses",
             "cut_functions_computed",
             "cut_function_cache_hits",
+            "batch_cut_functions",
+            "batch_levels",
+            "batch_npn_lookups",
             "sat_conflicts",
             "sat_propagations",
             "sat_decisions",

@@ -180,6 +180,33 @@ class TestArrays:
         again = mig.arrays()
         assert again.num_gates == 2
 
+    def test_in_place_mutation_mid_enumeration_rebuilds_view(self):
+        # Satellite regression: a count-preserving in-place rewire is
+        # invisible to the (num_nodes, num_outputs) part of the cache
+        # key, so the view MUST be re-keyed on arrays_version — a stale
+        # view here means simulating the pre-mutation structure.
+        mig = Mig(3)
+        a, b, c = mig.pi_signals()
+        g1 = mig.maj(a, b, c)
+        mig.add_po(mig.maj(g1, a, b))
+        view = mig.arrays()
+        assert mig.arrays() is view
+        node = signal_node(mig.outputs[0])
+        # Mid-"enumeration" mutation: rewire the root gate in place
+        # (same node count, same output count).
+        mig._fanins[node] = (a, signal_not(b), c)
+        mig.invalidate_arrays()
+        assert mig.arrays_version == view.version + 1
+        fresh = mig.arrays()
+        assert fresh is not view
+        assert fresh.version == mig.arrays_version
+        row = node - fresh.first_gate
+        assert fresh.fan_node[row].tolist() == [a >> 1, b >> 1, c >> 1]
+        assert int(fresh.fan_comp[row, 1]) == 0xFFFFFFFFFFFFFFFF
+        # The stale view still advertises its build version, so holders
+        # can detect it without re-deriving anything.
+        assert view.version != mig.arrays_version
+
     @given(random_aig())
     @settings(max_examples=20, deadline=None)
     def test_fanout_counts_match_reference(self, aig):

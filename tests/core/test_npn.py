@@ -14,6 +14,7 @@ from repro.core.npn import (
     identity_transform,
     invert_transform,
     npn_canonize,
+    npn_canonize_batch,
     npn_class_sizes,
     npn_representative,
 )
@@ -118,3 +119,41 @@ class TestTransformAlgebra:
     @given(tt4)
     def test_identity(self, f):
         assert apply_transform(f, identity_transform(4), 4) == f
+
+
+class TestBatchCanonize:
+    """npn_canonize_batch must be bit-identical to the scalar path —
+    representative AND transform, including the first-wins tie-break and
+    the phase pre-filter's extra output flip."""
+
+    @pytest.mark.parametrize("num_vars", [0, 1, 2, 3])
+    def test_exhaustive_small(self, num_vars):
+        fs = list(range(1 << (1 << num_vars)))
+        batch = npn_canonize_batch(fs, num_vars)
+        for f, got in zip(fs, batch):
+            assert got == npn_canonize(f, num_vars)
+
+    @given(st.lists(tt4, min_size=0, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_n4(self, fs):
+        batch = npn_canonize_batch(fs, 4)
+        assert batch == [npn_canonize(f, 4) for f in fs]
+
+    def test_edge_tables(self):
+        # Constants, single minterms, balanced and self-dual functions —
+        # the tie-break-sensitive corners.
+        edges = [0, 0xFFFF, 0x8000, 0x0001, 0xAAAA, 0x5555, 0x6996, 0xE8E8, 0xCAFE]
+        batch = npn_canonize_batch(edges, 4)
+        for f, (rep, t) in zip(edges, batch):
+            assert (rep, t) == npn_canonize(f, 4)
+            assert apply_transform(rep, t, 4) == f
+
+    def test_chunking_is_invisible(self):
+        fs = [((37 * i) ^ (i << 7)) & 0xFFFF for i in range(300)]
+        assert npn_canonize_batch(fs, 4, chunk=16) == npn_canonize_batch(fs, 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            npn_canonize_batch([0x10000], 4)
+        with pytest.raises(ValueError):
+            npn_canonize_batch([[1, 2]], 4)

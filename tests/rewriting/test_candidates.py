@@ -1,0 +1,100 @@
+"""Property tests for the bottom-up candidate list (bottom_up._insert).
+
+Satellite regression for the dominance-ordering bug: the insort key is
+(size, depth), so an equal-size candidate that is strictly worse on
+depth — or a repeat of an already-stored signal with a worse estimate —
+could shadow a strictly better entry.  The invariants pinned here:
+
+* the list stays sorted by (size, depth) and within the limit;
+* every signal appears at most once, carrying its best-seen estimate;
+* no stored candidate strictly dominates another (<= on both axes,
+  strictly better on at least one);
+* the best (size, depth) pair ever inserted is always retained at the
+  head — it can be neither dominated nor evicted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rewriting.bottom_up import _Candidate, _insert
+
+candidate = st.builds(
+    _Candidate,
+    signal=st.integers(min_value=2, max_value=20),
+    size=st.integers(min_value=0, max_value=6),
+    depth=st.integers(min_value=0, max_value=6),
+)
+
+
+def _strictly_dominates(a: _Candidate, b: _Candidate) -> bool:
+    return (
+        a.size <= b.size
+        and a.depth <= b.depth
+        and (a.size, a.depth) != (b.size, b.depth)
+    )
+
+
+class TestInsertProperties:
+    @given(st.lists(candidate, min_size=1, max_size=40), st.integers(1, 5))
+    @settings(max_examples=300, deadline=None)
+    def test_invariants(self, inserts, limit):
+        stored: list[_Candidate] = []
+        for new in inserts:
+            stored = _insert(stored, new, limit)
+        keys = [(c.size, c.depth) for c in stored]
+        assert keys == sorted(keys)
+        assert 1 <= len(stored) <= limit
+        signals = [c.signal for c in stored]
+        assert len(signals) == len(set(signals))
+        for a in stored:
+            for b in stored:
+                if a is not b:
+                    assert not _strictly_dominates(a, b), (a, b, stored)
+        best = min((c.size, c.depth) for c in inserts)
+        assert (stored[0].size, stored[0].depth) == best
+
+    @given(st.lists(candidate, min_size=1, max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_stored_estimates_are_achievable(self, inserts):
+        """Every stored entry is one that was actually inserted — the
+        list never fabricates or mixes (signal, size, depth) tuples.
+        (A signal may legitimately retain a non-minimal estimate when its
+        better one arrived while strictly dominated by another entry.)"""
+        stored: list[_Candidate] = []
+        for new in inserts:
+            stored = _insert(stored, new, limit=10)
+        inserted = {(c.signal, c.size, c.depth) for c in inserts}
+        for c in stored:
+            assert (c.signal, c.size, c.depth) in inserted
+
+    def test_duplicate_signal_upgrade_regression(self):
+        """The original bug: a second, better estimate for an existing
+        signal was silently dropped, keeping the stale worse entry."""
+        stored = _insert([], _Candidate(8, size=5, depth=4), limit=3)
+        stored = _insert(stored, _Candidate(8, size=2, depth=1), limit=3)
+        assert stored == [_Candidate(8, size=2, depth=1)]
+
+    def test_equal_size_worse_depth_rejected(self):
+        """Equal-size, strictly-worse-depth candidates used to occupy a
+        slot ahead of genuinely incomparable alternatives."""
+        stored = _insert([], _Candidate(8, size=3, depth=2), limit=3)
+        stored = _insert(stored, _Candidate(10, size=3, depth=5), limit=3)
+        assert stored == [_Candidate(8, size=3, depth=2)]
+        # An incomparable candidate still gets the slot.
+        stored = _insert(stored, _Candidate(12, size=4, depth=1), limit=3)
+        assert _Candidate(12, size=4, depth=1) in stored
+
+    def test_new_dominator_sweeps_stale_entries(self):
+        stored = [
+            _Candidate(8, size=3, depth=3),
+            _Candidate(10, size=4, depth=4),
+        ]
+        stored = _insert(stored, _Candidate(12, size=2, depth=2), limit=3)
+        assert stored == [_Candidate(12, size=2, depth=2)]
+
+    def test_exact_ties_between_signals_are_kept(self):
+        stored = _insert([], _Candidate(8, size=3, depth=2), limit=3)
+        stored = _insert(stored, _Candidate(10, size=3, depth=2), limit=3)
+        assert len(stored) == 2

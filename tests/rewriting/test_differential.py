@@ -15,11 +15,16 @@ simulation, not sampling.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.mig import CONST0, Mig
+from repro.aig import aig_to_mig
+from repro.aig.aig import Aig
+from repro.core.mig import CONST0, CONST1, Mig
 from repro.rewriting.engine import functional_hashing
+
+from ._frozen_scalar import frozen_functional_hashing
 
 #: every traversal/scope/depth combination the engine offers
 ALL_VARIANTS = ("T", "TF", "TD", "TFD", "B", "BF", "BD", "BFD")
@@ -45,6 +50,101 @@ def random_mig(draw, min_pis=3, max_pis=7, max_gates=20, max_pos=3):
         idx = draw(st.integers(0, len(signals) - 1))
         mig.add_po(signals[idx] ^ int(draw(st.booleans())))
     return mig
+
+
+@st.composite
+def random_aig(draw, min_pis=3, max_pis=6, max_gates=20, max_pos=3):
+    """Random multi-output AIG; converted to a MIG before rewriting."""
+    num_pis = draw(st.integers(min_value=min_pis, max_value=max_pis))
+    aig = Aig(num_pis)
+    signals = [CONST0] + aig.pi_signals()
+    for _ in range(draw(st.integers(min_value=1, max_value=max_gates))):
+        picks = draw(
+            st.lists(
+                st.tuples(st.integers(0, len(signals) - 1), st.booleans()),
+                min_size=2,
+                max_size=2,
+            )
+        )
+        signals.append(aig.and_(*[signals[i] ^ int(c) for i, c in picks]))
+    for _ in range(draw(st.integers(min_value=1, max_value=max_pos))):
+        idx = draw(st.integers(0, len(signals) - 1))
+        aig.add_po(signals[idx] ^ int(draw(st.booleans())))
+    return aig
+
+
+def _edge_case_migs() -> list[tuple[str, Mig]]:
+    """Degenerate inputs the batched pipeline must survive verbatim:
+    nothing to batch (no gates, no outputs), a single node, outputs that
+    never reach a gate (PIs, constants)."""
+    cases: list[tuple[str, Mig]] = []
+    cases.append(("no-outputs", Mig(2)))
+    m = Mig(2)
+    a, b = m.pi_signals()
+    m.add_po(a)
+    m.add_po(b ^ 1)
+    cases.append(("all-pi-outputs", m))
+    m = Mig(1)
+    m.add_po(CONST0)
+    m.add_po(CONST1)
+    cases.append(("const-outputs", m))
+    m = Mig(3)
+    a, b, c = m.pi_signals()
+    m.add_po(m.maj(a, b, c))
+    cases.append(("single-gate", m))
+    m = Mig(2)
+    a, b = m.pi_signals()
+    chain = m.maj(a, b, CONST0)
+    for _ in range(5):  # pure chain: every level holds exactly one gate
+        chain = m.maj(chain, a ^ 1, CONST1)
+    m.add_po(chain)
+    cases.append(("single-gate-levels", m))
+    m = Mig(0)
+    m.add_po(CONST1)
+    cases.append(("no-pis", m))
+    return cases
+
+
+class TestBatchedPipelineOracle:
+    """The array-native pipeline must pick byte-identical rewrites to the
+    frozen scalar snapshot in tests/rewriting/_frozen_scalar.py — under
+    every batch setting, on every variant."""
+
+    @given(random_mig(max_gates=18))
+    @settings(max_examples=12, deadline=None)
+    def test_batched_matches_frozen_scalar_on_migs(self, db, mig):
+        for variant in ALL_VARIANTS:
+            oracle = frozen_functional_hashing(mig, db, variant)
+            for batch in (False, "auto", "full"):
+                out = functional_hashing(mig, db, variant, batch=batch)
+                assert out.structural_hash() == oracle.structural_hash(), (
+                    f"variant {variant}, batch={batch!r} diverged from the "
+                    "frozen scalar oracle"
+                )
+
+    @given(random_aig(max_gates=16))
+    @settings(max_examples=8, deadline=None)
+    def test_batched_matches_frozen_scalar_on_converted_aigs(self, db, aig):
+        mig = aig_to_mig(aig)
+        for variant in ALL_VARIANTS:
+            oracle = frozen_functional_hashing(mig, db, variant)
+            for batch in (False, "full"):
+                out = functional_hashing(mig, db, variant, batch=batch)
+                assert out.structural_hash() == oracle.structural_hash(), (
+                    f"variant {variant}, batch={batch!r} diverged from the "
+                    "frozen scalar oracle"
+                )
+
+    @pytest.mark.parametrize("name,mig", _edge_case_migs(), ids=lambda v: v if isinstance(v, str) else "")
+    @pytest.mark.parametrize("batch", [False, "full"])
+    def test_edge_cases_match_oracle(self, db, name, mig, batch):
+        spec = mig.simulate()
+        for variant in ALL_VARIANTS:
+            oracle = frozen_functional_hashing(mig, db, variant)
+            out = functional_hashing(mig, db, variant, batch=batch)
+            out.check()
+            assert out.simulate() == spec
+            assert out.structural_hash() == oracle.structural_hash()
 
 
 class TestDifferential:

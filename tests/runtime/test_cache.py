@@ -139,6 +139,75 @@ class TestQuarantine:
         cache.put(key, {"a": 1})
         assert cache.get(key) == {"a": 1}
 
+    def test_entry_vanishing_mid_load_is_a_plain_miss(self, tmp_path, monkeypatch):
+        """Satellite regression: a read that fails because the entry was
+        concurrently evicted must not quarantine — there is nothing corrupt
+        on disk, and a ``.corrupt`` tombstone here would be fabricated."""
+        import builtins
+
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        cache.put(key, {"a": 1})
+        path = self._entry_path(cache, key)
+        real_open = builtins.open
+
+        def racing_open(file, *args, **kwargs):
+            if str(file) == str(path):
+                # Simulate the sibling's unlink landing mid-load: the open
+                # itself succeeds, the subsequent read hits EIO-style loss.
+                os.unlink(path)
+                raise OSError("read raced with eviction")
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", racing_open)
+        assert cache.get(key) is None
+        monkeypatch.undo()
+        assert cache.stats()["corrupt"] == 0
+        assert cache.stats()["misses"] == 1
+        assert not list(cache.objects_dir.glob(f"{key}.json.corrupt*"))
+        # The slot is immediately reusable.
+        cache.put(key, {"a": 2})
+        assert cache.get(key) == {"a": 2}
+
+    def test_concurrent_get_and_eviction_never_quarantines(self, tmp_path):
+        """Hammer get() from readers while a writer keeps the cache at its
+        budget so entries are constantly evicted under the readers."""
+        import threading
+
+        entry_size = len(
+            json.dumps(
+                {"version": 1, "key": "0" * 64, "stored_at": 0.0, "result": {"p": 0}},
+                sort_keys=True,
+            )
+        )
+        cache = ResultCache(tmp_path, max_bytes=entry_size * 4)
+        keys = [format(i, "064x") for i in range(16)]
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for k in keys:
+                        cache.get(k)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for round_ in range(30):
+                for i, k in enumerate(keys):
+                    cache.put(k, {"p": round_ * len(keys) + i})
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert cache.stats()["corrupt"] == 0
+        assert not list(cache.objects_dir.glob("*.corrupt*"))
+
 
 class TestEviction:
     def _fill(self, cache, keys, pad=200):

@@ -101,7 +101,12 @@ class TestExactCounters:
         mig = build_counters_mig()
         metrics = PassMetrics()
         rewrite_bottom_up(mig, db, metrics=metrics)
-        assert set(metrics.phase_seconds) == {"enumerate", "rewrite", "cleanup"}
+        assert set(metrics.phase_seconds) == {
+            "enumerate",
+            "batch",
+            "rewrite",
+            "cleanup",
+        }
         assert all(t >= 0.0 for t in metrics.phase_seconds.values())
         assert metrics.total_seconds == pytest.approx(
             sum(metrics.phase_seconds.values())
@@ -172,6 +177,35 @@ class TestPassMetricsObject:
         assert a.db_misses == 1
         assert a.cuts_rejected == {"no-gain": 3, "trivial": 1}
         assert a.phase_seconds == {"rewrite": 0.75, "enumerate": 0.1}
+
+    def test_merge_empty_into_nonempty_and_back(self):
+        """Satellite regression: merging must sum the raw counters (batch
+        counters included) and leave derived rates to recompute — an empty
+        merge partner must be a strict no-op in both directions."""
+        full = PassMetrics(variant="B", db_hits=3, db_misses=1)
+        full.batch_cut_functions = 40
+        full.batch_levels = 6
+        full.batch_npn_lookups = 17
+        full.cut_functions_computed = 50
+        before = full.to_dict()
+        full.merge(PassMetrics())  # empty into nonempty: no-op
+        assert full.to_dict() == before
+        empty = PassMetrics()
+        empty.merge(full)  # nonempty into empty: copies every raw counter
+        assert empty.batch_cut_functions == 40
+        assert empty.batch_levels == 6
+        assert empty.batch_npn_lookups == 17
+        assert empty.db_hit_rate == pytest.approx(0.75)
+        assert empty.batch_function_fraction == pytest.approx(0.8)
+        # Double merge doubles raw counters but the rates are recomputed,
+        # not summed — the classic merged-rate bug this test pins down.
+        empty.merge(full)
+        assert empty.batch_cut_functions == 80
+        assert empty.db_hit_rate == pytest.approx(0.75)
+        assert empty.batch_function_fraction == pytest.approx(0.8)
+
+    def test_batch_function_fraction_zero_safe(self):
+        assert PassMetrics().batch_function_fraction == 0.0
 
     def test_json_round_trip(self, db):
         mig = build_counters_mig()

@@ -123,3 +123,29 @@ class TestRules:
         assert not self._violations(
             "repro.core.cuts", "from repro.runtime.metrics import PassMetrics", tmp_path
         )
+
+
+class TestNumpyFree:
+    """Rule 4: rewriting may use core.simengine but never numpy directly."""
+
+    def test_rewriting_may_not_import_numpy(self):
+        assert check_layers.numpy_free_violation("repro.rewriting.batch", "numpy")
+        assert check_layers.numpy_free_violation(
+            "repro.rewriting.bottom_up", "numpy.linalg"
+        )
+
+    def test_rewriting_may_import_simengine(self):
+        assert not check_layers.numpy_free_violation(
+            "repro.rewriting.batch", "repro.core.simengine"
+        )
+
+    def test_rule_scoped_to_rewriting(self):
+        # The kernel layer is numpy's home; rule 4 must not fire there.
+        assert not check_layers.numpy_free_violation("repro.core.simengine", "numpy")
+        assert not check_layers.numpy_free_violation("repro.core.cuts", "numpy")
+
+    def test_rewriting_tree_is_numpy_free_today(self):
+        rewriting = check_layers.SRC / "repro" / "rewriting"
+        for path in sorted(rewriting.rglob("*.py")):
+            source = path.read_text()
+            assert "import numpy" not in source, path

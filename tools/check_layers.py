@@ -17,6 +17,11 @@ Rules enforced (on ``import`` statements, resolved per module):
 3. The facades (``repro.core.mig``, ``repro.aig.aig``) import from the
    repo only the kernel layer (``repro.core.kernel``,
    ``repro.core.simengine``) — all their logic lives below them.
+4. ``repro.rewriting`` never imports numpy directly.  The rewrite passes
+   may use ``repro.core.simengine`` (and the batch machinery riding on
+   it), but all array code lives in the kernel layer; a stray
+   ``import numpy`` in a pass is a layering leak that bypasses the
+   simengine contract (dtype, padding, invalidation).
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 Runs from any directory; stdlib only (CI calls it before the test jobs).
@@ -36,6 +41,16 @@ KERNEL_LAYER = {"repro.core.kernel", "repro.core.simengine"}
 FACADES = {"repro.core.mig", "repro.aig.aig"}
 #: packages the core layer must never reach into (rule 2)
 CORE_FORBIDDEN = ("repro.rewriting", "repro.opt", "repro.aig")
+#: packages that must stay numpy-free — array work goes through the
+#: kernel layer, never sideways into numpy (rule 4)
+NUMPY_FREE = ("repro.rewriting",)
+
+
+def numpy_free_violation(module: str, target: str) -> bool:
+    """True when *module* falls under rule 4 and *target* is numpy."""
+    if target != "numpy" and not target.startswith("numpy."):
+        return False
+    return any(in_package(module, package) for package in NUMPY_FREE)
 
 
 def module_name(path: Path) -> str:
@@ -76,6 +91,14 @@ def check_file(path: Path) -> list[str]:
         if not isinstance(node, (ast.Import, ast.ImportFrom)):
             continue
         for target in resolve_import(module, node):
+            if numpy_free_violation(module, target):
+                where = f"{path.relative_to(SRC.parent)}:{node.lineno}"
+                violations.append(
+                    f"{where}: {module} imports {target} "
+                    "(rewriting must reach arrays through core.simengine, "
+                    "never numpy directly)"
+                )
+                continue
             if not in_package(target, "repro"):
                 continue
             where = f"{path.relative_to(SRC.parent)}:{node.lineno}"
