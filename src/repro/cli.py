@@ -80,6 +80,18 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bench", help="read the circuit from an ISCAS .bench file")
 
 
+def _add_sat_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sat-backend", default="internal",
+        choices=["auto", "internal", "portfolio"],
+        help="SAT solver lanes: 'internal' is the deterministic in-process "
+        "CDCL solver; 'portfolio' races it against external kissat/CaDiCaL "
+        "binaries ($REPRO_SAT_SOLVERS overrides discovery) and degrades to "
+        "internal-only when none exist; 'auto' races only when a binary is "
+        "found (default: internal)",
+    )
+
+
 def _batch_specs(args: argparse.Namespace) -> list:
     """Build the job list for ``migopt batch`` (deterministic job ids)."""
     from pathlib import Path
@@ -127,6 +139,7 @@ def _batch_specs(args: argparse.Namespace) -> list:
                 network=network,
                 script=script,
                 verify=args.verify,
+                sat_backend=args.sat_backend,
                 time_limit=args.time_limit,
                 conflict_limit=args.conflict_limit,
                 mem_limit_mb=args.mem_limit,
@@ -287,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         "('raise'), or keep the pre-step network and continue "
         "('rollback'/'skip')",
     )
+    _add_sat_backend_arg(p_flow)
     p_flow.add_argument("-o", "--output", help="write the result (BLIF/.v/.bench)")
     p_flow.add_argument("--db", help="path to an alternative NPN database")
     p_flow.add_argument(
@@ -339,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
         "--verify", default="sim", choices=["off", "sim", "cec"],
         help="in-worker per-step verification policy (default: sim)",
     )
+    _add_sat_backend_arg(p_batch)
     p_batch.add_argument(
         "--workdir", required=True, metavar="DIR",
         help="batch state directory (journal, specs, results, outputs, report)",
@@ -432,6 +447,7 @@ def main(argv: list[str] | None = None) -> int:
     p_exact.add_argument("--vars", type=int, default=4)
     p_exact.add_argument("--budget", type=int, default=200000,
                          help="conflict budget per size")
+    _add_sat_backend_arg(p_exact)
     p_exact.add_argument(
         "--metrics", metavar="PATH",
         help="dump per-size outcomes and solver counters as JSON to PATH "
@@ -459,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = in-process serial; content is identical either way, and a "
         "killed parallel run resumes from its job journal)",
     )
+    _add_sat_backend_arg(p_db_gen)
     p_db_gen.add_argument("--fresh", action="store_true",
                           help="regenerate from scratch")
     p_db_gen.add_argument("--largest-first", action="store_true",
@@ -522,6 +539,7 @@ def main(argv: list[str] | None = None) -> int:
         result, history = run_flow(
             mig, db, script, verbose=True,
             budget=budget, verify=args.verify, on_error=args.on_error,
+            sat_backend=args.sat_backend,
         )
         print(f"final: {result.num_gates}/{result.depth()} "
               f"({sum(step.runtime for step in history):.2f}s total)")
@@ -563,7 +581,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "exact":
         spec = int(args.tt, 16)
-        result = synthesize_exact(spec, args.vars, conflict_budget=args.budget)
+        result = synthesize_exact(
+            spec, args.vars, conflict_budget=args.budget,
+            sat_backend=args.sat_backend,
+        )
         if args.metrics:
             _dump_metrics(args.metrics, {
                 "spec": f"0x{spec:x}",
@@ -577,6 +598,7 @@ def main(argv: list[str] | None = None) -> int:
                 "sat_decisions": result.decisions,
                 "sat_restarts": result.restarts,
                 "sat_learned": result.learned,
+                "sat_backend_events": dict(result.backend_events),
             })
         if result.mig is None:
             print(f"no MIG found within budget (outcomes: {result.k_outcomes})")
@@ -584,6 +606,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"0x{spec:x}: size {result.size} "
               f"({'proven minimal' if result.proven else 'upper bound'}), "
               f"{result.runtime:.2f}s, {result.conflicts} conflicts")
+        if result.backend_events:
+            lanes = ", ".join(
+                f"{key}={count}"
+                for key, count in sorted(result.backend_events.items())
+            )
+            print(f"backend lanes: {lanes}")
         print(result.mig.to_expression(result.mig.outputs[0]))
         return 0
 
@@ -593,7 +621,8 @@ def main(argv: list[str] | None = None) -> int:
 
             forwarded = ["--budget", str(args.budget),
                          "--sat-seconds", str(args.sat_seconds),
-                         "--jobs", str(args.jobs)]
+                         "--jobs", str(args.jobs),
+                         "--sat-backend", args.sat_backend]
             if args.out is not None:
                 forwarded += ["--out", args.out]
             if args.fresh:

@@ -89,6 +89,7 @@ def _solve_size(
     budget: int | None,
     deadline: float | None = None,
     seed_rows: list[int] | None = None,
+    portfolio=None,
 ) -> tuple[bool | None, DbEntry | None, int, list[int]]:
     """One exact-synthesis decision.
 
@@ -96,7 +97,7 @@ def _solve_size(
     the CEGAR row set after the call — carried into the next size when
     ascending (a refutation over a row subset refutes the full spec).
     """
-    encoding = encode_exact_mig(spec, num_vars, k)
+    encoding = encode_exact_mig(spec, num_vars, k, portfolio=portfolio)
     answer = encoding.solve_cegar(
         conflict_budget=budget, deadline=deadline, seed_rows=seed_rows
     )
@@ -116,6 +117,7 @@ def improve_class(
     num_vars: int,
     budget: int | None,
     deadline: float | None = None,
+    sat_backend: str = "internal",
 ) -> tuple[DbEntry, int]:
     """Improve/certify one database entry by exact synthesis.
 
@@ -129,7 +131,17 @@ def improve_class(
     CEGAR counterexample rows from each refuted size into the next; a
     descending SAT sweep from the current upper bound handles budget
     exhaustion.
+
+    *sat_backend* selects the solver lanes (``internal`` keeps the
+    deterministic single-solver path; ``auto``/``portfolio`` race
+    external binaries, trading bit-for-bit run determinism for speed —
+    entries are still verified by simulation before they are admitted).
     """
+    portfolio = None
+    if sat_backend != "internal":
+        from ..sat.portfolio import resolve_backend
+
+        portfolio = resolve_backend(sat_backend)
     start = time.perf_counter()
     total_conflicts = 0
     best = entry
@@ -144,7 +156,8 @@ def improve_class(
             exhausted = True
             break
         answer, found, conflicts, rows = _solve_size(
-            rep, num_vars, k, budget, deadline, seed_rows=carried_rows
+            rep, num_vars, k, budget, deadline, seed_rows=carried_rows,
+            portfolio=portfolio,
         )
         total_conflicts += conflicts
         if answer is False:
@@ -169,7 +182,7 @@ def improve_class(
                 k2 -= 1
                 continue
             answer, found, conflicts, _rows = _solve_size(
-                rep, num_vars, k2, budget, deadline
+                rep, num_vars, k2, budget, deadline, portfolio=portfolio
             )
             total_conflicts += conflicts
             if answer is True and found is not None:
@@ -205,6 +218,7 @@ def improve_with_sat(
     out_path: str | Path | None = None,
     verbose: bool = False,
     largest_first: bool = False,
+    sat_backend: str = "internal",
 ) -> dict[str, int]:
     """Phase 2: improve/certify database entries by exact synthesis.
 
@@ -223,7 +237,7 @@ def improve_with_sat(
             break
         stats["visited"] += 1
         new_entry, total_conflicts = improve_class(
-            rep, entry, db.num_vars, budget, deadline
+            rep, entry, db.num_vars, budget, deadline, sat_backend=sat_backend
         )
         if new_entry.size < entry.size:
             stats["improved"] += 1
@@ -251,6 +265,7 @@ def improve_with_sat_parallel(
     largest_first: bool = False,
     jobs: int = 2,
     workdir: str | Path | None = None,
+    sat_backend: str = "internal",
 ) -> dict[str, int]:
     """Phase 2 across worker subprocesses via the supervised batch runtime.
 
@@ -292,6 +307,7 @@ def improve_with_sat_parallel(
             network={},
             mode="db-improve",
             verify="sim",
+            sat_backend=sat_backend,
             time_limit=per_job_limit,
             conflict_limit=budget,
             payload={
@@ -380,6 +396,14 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = in-process serial; the database content is identical either "
         "way, and a killed parallel run resumes from its job journal)",
     )
+    parser.add_argument(
+        "--sat-backend", choices=("auto", "internal", "portfolio"),
+        default="internal",
+        help="SAT solver lanes for the improvement phase: 'internal' is the "
+        "deterministic in-process solver; 'auto'/'portfolio' race external "
+        "kissat/CaDiCaL binaries when discovered (every entry is still "
+        "verified by simulation before admission)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -419,6 +443,7 @@ def main(argv: list[str] | None = None) -> int:
                 verbose=verbose,
                 largest_first=args.largest_first,
                 jobs=args.jobs,
+                sat_backend=args.sat_backend,
             )
         else:
             stats = improve_with_sat(
@@ -428,6 +453,7 @@ def main(argv: list[str] | None = None) -> int:
                 out_path=out,
                 verbose=verbose,
                 largest_first=args.largest_first,
+                sat_backend=args.sat_backend,
             )
         if verbose:
             print(f"sat phase: {stats}")

@@ -197,7 +197,13 @@ class ExactMigEncoding:
         return mig
 
 
-def encode_exact_mig(spec: int, num_vars: int, num_gates: int) -> ExactMigEncoding:
+def encode_exact_mig(
+    spec: int,
+    num_vars: int,
+    num_gates: int,
+    portfolio=None,
+    budget=None,
+) -> ExactMigEncoding:
     """Encode: does an MIG with *num_gates* majority gates compute *spec*?
 
     *spec* is a truth table over *num_vars* variables.  ``num_gates`` must
@@ -205,6 +211,10 @@ def encode_exact_mig(spec: int, num_vars: int, num_gates: int) -> ExactMigEncodi
     checked explicitly by the synthesis driver, as in the paper).  Row
     constraints are added lazily; use :meth:`ExactMigEncoding.solve` for
     the monolithic instance or :meth:`ExactMigEncoding.solve_cegar`.
+
+    *portfolio* (a :class:`~repro.sat.portfolio.PortfolioSolver`) races
+    every solve call across external backends; *budget* (a shared
+    :class:`~repro.runtime.budget.Budget`) caps each call's wall clock.
     """
     if num_gates < 1:
         raise ValueError("encode_exact_mig requires at least one gate")
@@ -213,7 +223,7 @@ def encode_exact_mig(spec: int, num_vars: int, num_gates: int) -> ExactMigEncodi
 
     n = num_vars
     k = num_gates
-    builder = CnfBuilder()
+    builder = CnfBuilder(portfolio=portfolio, budget=budget)
 
     select_vars = [
         [[builder.new_var() for _ in range(n + 1 + l)] for _ in range(3)]

@@ -168,6 +168,7 @@ def run_flow(
     on_error: str = "raise",
     cut_limit: int | None = None,
     on_step: Callable[[FlowStepStats], None] | None = None,
+    sat_backend: str = "internal",
 ) -> tuple[Mig, list[FlowStepStats]]:
     """Apply *script* steps in order; returns the final MIG and per-step stats.
 
@@ -181,7 +182,10 @@ def run_flow(
     discarded, recording the step as ``rolled-back``.
     ``on_error="raise"`` propagates step exceptions and raises
     :class:`~repro.runtime.errors.VerificationFailed` on a detected
-    miscompile.  *cut_limit* overrides the rewriters' per-node cut cap
+    miscompile.  *sat_backend* (``internal``/``auto``/``portfolio``)
+    selects the solver lanes raced by ``verify="cec"`` miters; one
+    portfolio is shared across all steps so its per-lane event counters
+    accumulate into each step's metrics.  *cut_limit* overrides the rewriters' per-node cut cap
     for every functional-hashing step (the batch runtime's degradation
     ladder shrinks it on retries).  *on_step* is called with each step's
     :class:`FlowStepStats` as soon as it concludes — the progress seam
@@ -193,6 +197,14 @@ def run_flow(
             f"unknown on_error policy {on_error!r}; expected one of {_ON_ERROR_POLICIES}"
         )
     _validate_script(db, script)
+    if verify == "cec" and sat_backend != "internal":
+        from ..sat.portfolio import resolve_backend
+
+        # Resolved once so discovery runs once and event counters span
+        # the whole flow; None when auto finds no binary.
+        cec_backend = resolve_backend(sat_backend, budget=budget) or "internal"
+    else:
+        cec_backend = "internal"
 
     history: list[FlowStepStats] = []
     current = mig
@@ -264,12 +276,15 @@ def run_flow(
             )
             continue
 
-        report = verify_rewrite(current, nxt, mode=verify, budget=budget)
+        report = verify_rewrite(
+            current, nxt, mode=verify, budget=budget, sat_backend=cec_backend
+        )
         if metrics is not None:
             # Kernel counters: verification simulation on both networks
             # (the rewriters already folded in their construction counters).
             metrics.record_network(current)
             metrics.record_network(nxt)
+            metrics.record_backend_events(report.backend_events)
         if report.refuted:
             if on_error == "raise":
                 raise VerificationFailed(
@@ -300,6 +315,7 @@ def optimize_until_convergence(
     on_error: str = "raise",
     metrics: PassMetrics | None = None,
     cut_limit: int | None = None,
+    sat_backend: str = "internal",
 ) -> tuple[Mig, int]:
     """Repeat one functional-hashing variant until the size stops improving.
 
@@ -318,6 +334,12 @@ def optimize_until_convergence(
         raise ValueError(
             f"unknown on_error policy {on_error!r}; expected one of {_ON_ERROR_POLICIES}"
         )
+    if verify == "cec" and sat_backend != "internal":
+        from ..sat.portfolio import resolve_backend
+
+        cec_backend = resolve_backend(sat_backend, budget=budget) or "internal"
+    else:
+        cec_backend = "internal"
     current = mig
     passes = 0
     for _ in range(max_passes):
@@ -351,10 +373,13 @@ def optimize_until_convergence(
                 raise VerificationFailed(step=variant, method="structural") from exc
             break  # roll back to the last structurally valid network
 
-        report = verify_rewrite(current, nxt, mode=verify, budget=budget)
+        report = verify_rewrite(
+            current, nxt, mode=verify, budget=budget, sat_backend=cec_backend
+        )
         if metrics is not None:
             metrics.record_network(current)
             metrics.record_network(nxt)
+            metrics.record_backend_events(report.backend_events)
         if report.refuted:
             if on_error == "raise":
                 raise VerificationFailed(

@@ -84,6 +84,9 @@ class JobSpec:
     max_passes: int = 10
     #: verification policy inside the worker: "off", "sim", or "cec"
     verify: str = "sim"
+    #: SAT backend selection for solver-backed work: "auto", "internal",
+    #: or "portfolio" (see repro.sat.portfolio)
+    sat_backend: str = "internal"
     time_limit: float | None = None
     conflict_limit: int | None = None
     cut_limit: int | None = None
@@ -109,6 +112,7 @@ class JobSpec:
             "variant": self.variant,
             "max_passes": self.max_passes,
             "verify": self.verify,
+            "sat_backend": self.sat_backend,
             "time_limit": self.time_limit,
             "conflict_limit": self.conflict_limit,
             "cut_limit": self.cut_limit,
@@ -131,6 +135,7 @@ class JobSpec:
             variant=str(data.get("variant", "BF")),
             max_passes=int(data.get("max_passes", 10)),
             verify=str(data.get("verify", "sim")),
+            sat_backend=str(data.get("sat_backend", "internal")),
             time_limit=_opt_float(data.get("time_limit")),
             conflict_limit=_opt_int(data.get("conflict_limit")),
             cut_limit=_opt_int(data.get("cut_limit")),
@@ -165,6 +170,11 @@ def degraded(spec: JobSpec) -> tuple[JobSpec, list[str]]:
     """
     notes: list[str] = []
     changes: dict = {}
+    if spec.sat_backend != "internal":
+        # A misbehaving external solver must not fail the job twice:
+        # retries run on the trusted in-process solver alone.
+        changes["sat_backend"] = "internal"
+        notes.append(f"sat_backend:{spec.sat_backend}->internal")
     if spec.verify == "cec":
         changes["verify"] = "sim"
         notes.append("verify:cec->sim")

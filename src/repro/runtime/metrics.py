@@ -85,6 +85,9 @@ class PassMetrics:
     sat_decisions: int = 0
     sat_restarts: int = 0
     sat_learned: int = 0
+    #: portfolio lane fates ("<backend>:<outcome>" -> count) from
+    #: SAT backend races; empty on the pure-internal path
+    sat_backend_events: dict[str, int] = field(default_factory=dict)
     #: gate constructions answered by the kernel's structural-hash table
     kernel_strash_hits: int = 0
     #: gate constructions simplified away by a kernel facade unit rule
@@ -107,6 +110,16 @@ class PassMetrics:
         self.sat_decisions += result.decisions
         self.sat_restarts += result.restarts
         self.sat_learned += result.learned
+        self.record_backend_events(getattr(result, "backend_events", None))
+
+    def record_backend_events(self, events: dict[str, int] | None) -> None:
+        """Accumulate per-lane portfolio fates (no-op for None/empty)."""
+        if not events:
+            return
+        for key, count in events.items():
+            self.sat_backend_events[key] = (
+                self.sat_backend_events.get(key, 0) + count
+            )
 
     def record_network(self, net) -> None:
         """Accumulate (and reset) the kernel counters of one network.
@@ -153,6 +166,7 @@ class PassMetrics:
         self.sat_decisions += other.sat_decisions
         self.sat_restarts += other.sat_restarts
         self.sat_learned += other.sat_learned
+        self.record_backend_events(other.sat_backend_events)
         self.kernel_strash_hits += other.kernel_strash_hits
         self.kernel_unit_rules += other.kernel_unit_rules
         self.sim_words += other.sim_words
@@ -227,6 +241,7 @@ class PassMetrics:
             "sat_decisions": self.sat_decisions,
             "sat_restarts": self.sat_restarts,
             "sat_learned": self.sat_learned,
+            "sat_backend_events": dict(self.sat_backend_events),
             "kernel_strash_hits": self.kernel_strash_hits,
             "kernel_unit_rules": self.kernel_unit_rules,
             "sim_words": self.sim_words,
@@ -264,6 +279,9 @@ class PassMetrics:
             setattr(metrics, name, int(data.get(name, 0)))
         metrics.cuts_rejected = {
             str(k): int(v) for k, v in data.get("cuts_rejected", {}).items()
+        }
+        metrics.sat_backend_events = {
+            str(k): int(v) for k, v in data.get("sat_backend_events", {}).items()
         }
         metrics.phase_seconds = {
             str(k): float(v) for k, v in data.get("phase_seconds", {}).items()

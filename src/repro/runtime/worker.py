@@ -170,7 +170,9 @@ def _run_db_improve_job(spec: JobSpec, start: float) -> dict:
         # Leave the watchdog's grace window to write the result artifact.
         deadline = time.monotonic() + max(0.5, spec.time_limit - 0.5)
 
-    new_entry, conflicts = improve_class(rep, entry, num_vars, budget, deadline)
+    new_entry, conflicts = improve_class(
+        rep, entry, num_vars, budget, deadline, sat_backend=spec.sat_backend
+    )
     if new_entry.to_mig().simulate()[0] != rep:
         raise AssertionError(f"db-improve produced wrong function for 0x{rep:x}")
     return {
@@ -240,6 +242,7 @@ def run_job(spec: JobSpec) -> dict:
             on_error="rollback",
             metrics=metrics,
             cut_limit=spec.cut_limit,
+            sat_backend=spec.sat_backend,
         )
         steps_payload.append({"step": spec.variant, "status": "ok", "passes": passes})
         if progress is not None:
@@ -278,6 +281,7 @@ def run_job(spec: JobSpec) -> dict:
             on_error="rollback",
             cut_limit=spec.cut_limit,
             on_step=on_step,
+            sat_backend=spec.sat_backend,
         )
         for stats in history:
             entry = {

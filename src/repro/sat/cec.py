@@ -9,14 +9,16 @@ counterexample.  Complements the simulation-based checks of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..core.mig import Mig
 from .cnf import CnfBuilder
+from .portfolio import resolve_backend
 
 if TYPE_CHECKING:
     from ..runtime.budget import Budget
+    from .portfolio import PortfolioSolver
 
 __all__ = ["CecResult", "check_equivalence_sat"]
 
@@ -28,6 +30,9 @@ class CecResult:
     equivalent: bool | None  # None = budget exhausted
     counterexample: dict[str, bool] | None
     conflicts: int
+    #: per-lane portfolio fates ("<backend>:<outcome>" -> count); empty
+    #: on the pure-internal path
+    backend_events: dict[str, int] = field(default_factory=dict)
 
 
 def _encode_mig(builder: CnfBuilder, mig: Mig, pi_vars: list[int]) -> list[int]:
@@ -52,12 +57,18 @@ def check_equivalence_sat(
     mig2: Mig,
     conflict_budget: int | None = None,
     budget: "Budget | None" = None,
+    sat_backend: "str | PortfolioSolver | None" = "internal",
 ) -> CecResult:
     """Prove or refute equivalence of two MIGs with identical interfaces.
 
     A shared :class:`repro.runtime.budget.Budget` bounds the solve by its
     wall-clock deadline and (when *conflict_budget* is not given) by its
     remaining conflicts; the conflicts spent are charged back to it.
+
+    *sat_backend* selects the solving path: a ``--sat-backend`` mode
+    string (``"auto"``/``"internal"``/``"portfolio"``), an already-built
+    :class:`~repro.sat.portfolio.PortfolioSolver` (shared across calls
+    so its event counters accumulate), or ``None`` for internal.
     """
     if mig1.num_pis != mig2.num_pis or mig1.num_pos != mig2.num_pos:
         raise ValueError("CEC requires matching PI/PO counts")
@@ -66,7 +77,12 @@ def check_equivalence_sat(
         deadline = budget.deadline
         if conflict_budget is None:
             conflict_budget = budget.call_conflict_budget()
-    builder = CnfBuilder()
+    portfolio = (
+        resolve_backend(sat_backend, budget=budget)
+        if isinstance(sat_backend, str)
+        else sat_backend
+    )
+    builder = CnfBuilder(portfolio=portfolio, budget=budget)
     pi_vars = builder.new_vars(mig1.num_pis)
     outs1 = _encode_mig(builder, mig1, pi_vars)
     outs2 = _encode_mig(builder, mig2, pi_vars)
@@ -80,12 +96,13 @@ def check_equivalence_sat(
     conflicts = builder.solver.conflicts
     if budget is not None:
         budget.charge_conflicts(conflicts)
+    events = portfolio.take_events() if portfolio is not None else {}
     if answer is None:
-        return CecResult(None, None, conflicts)
+        return CecResult(None, None, conflicts, events)
     if answer is False:
-        return CecResult(True, None, conflicts)
+        return CecResult(True, None, conflicts, events)
     cex = {
         name: builder.value(var)
         for name, var in zip(mig1.pi_names, pi_vars)
     }
-    return CecResult(False, cex, conflicts)
+    return CecResult(False, cex, conflicts, events)

@@ -22,7 +22,13 @@ def write_dimacs(num_vars: int, clauses: Iterable[Iterable[int]], fp: TextIO) ->
 
 
 def parse_dimacs(fp: TextIO) -> tuple[int, list[list[int]]]:
-    """Parse a DIMACS CNF file; returns ``(num_vars, clauses)``."""
+    """Parse a DIMACS CNF file; returns ``(num_vars, clauses)``.
+
+    Strict by design — external solver I/O depends on this parser, so a
+    clause count that disagrees with the ``p cnf`` header or a literal
+    outside the declared variable range is a :class:`ValueError`, never
+    a silently mangled formula.
+    """
     num_vars = 0
     declared_clauses: int | None = None
     clauses: list[list[int]] = []
@@ -44,6 +50,11 @@ def parse_dimacs(fp: TextIO) -> tuple[int, list[list[int]]]:
                 clauses.append(current)
                 current = []
             else:
+                if abs(lit) > num_vars:
+                    raise ValueError(
+                        f"literal {lit} exceeds the declared "
+                        f"{num_vars}-variable range"
+                    )
                 current.append(lit)
     if current:
         clauses.append(current)

@@ -1,0 +1,253 @@
+"""Race complementary SAT backends; first validated answer wins.
+
+``sat_revsynth``'s ``solver_racer`` shape adapted to this repo's
+robustness rules (see docs/ROBUSTNESS.md "The solver portfolio"):
+
+* the **internal lane** is the caller's live incremental
+  :class:`~repro.sat.solver.Solver` — it runs on the calling thread so
+  the CDCL state is never shared across threads, and it polls a cancel
+  event at its existing deadline-check interval (every 64 conflicts), so
+  an external win stops it within microseconds of work;
+* each **external lane** is a :class:`~repro.sat.backends.
+  DimacsSubprocessBackend` on its own thread; losing lanes are killed
+  through the supervisor's SIGTERM → grace → SIGKILL ladder, and every
+  lane thread is joined before :meth:`PortfolioSolver.solve` returns —
+  no solver process outlives the race;
+* every external SAT model is **validated against the clause list**
+  before it may win; a crashed, hanging, or lying lane degrades to
+  UNKNOWN for that lane only and can never change the verdict;
+* with **no external backend discovered** the race collapses to a plain
+  ``solver.solve(...)`` call on the calling thread — no threads, no
+  clause mirroring cost beyond an append per clause, and byte-identical
+  results to the internal solver alone;
+* a shared :class:`~repro.runtime.budget.Budget` clamps every lane's
+  deadline, so a portfolio race can never exceed the flow's wall-clock
+  budget even if a subprocess ignores SIGTERM (SIGKILL lands within the
+  backend's grace window).
+
+Per-lane fates are accumulated in :attr:`PortfolioSolver.events`
+(``"<backend>:<outcome>"`` counters) and surfaced through
+``SynthesisResult.backend_events`` / ``PassMetrics.sat_backend_events``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Sequence
+
+from .backends import (
+    BackendResult,
+    DimacsSubprocessBackend,
+    InternalBackend,
+    discover_backends,
+)
+from .solver import Solver
+
+if TYPE_CHECKING:
+    from ..runtime.budget import Budget
+
+__all__ = ["PortfolioSolver", "resolve_backend", "BACKEND_MODES"]
+
+#: the CLI vocabulary for --sat-backend
+BACKEND_MODES = ("auto", "internal", "portfolio")
+
+#: join cap for lane threads after the race is decided; generous —
+#: lanes bound themselves via the kill ladder long before this
+_JOIN_TIMEOUT = 30.0
+
+
+class PortfolioSolver:
+    """Races the internal CDCL solver against external DIMACS solvers.
+
+    Construct once and attach to a :class:`~repro.sat.cnf.CnfBuilder`
+    (``CnfBuilder(portfolio=...)``); every ``builder.solve`` then runs a
+    race over the builder's mirrored clause list.  *external* defaults
+    to environment discovery (:func:`~repro.sat.backends.
+    discover_backends`); *budget* clamps every lane's deadline.
+    """
+
+    def __init__(
+        self,
+        external: Sequence[DimacsSubprocessBackend] | None = None,
+        budget: "Budget | None" = None,
+        grace: float = 1.0,
+    ) -> None:
+        self.external = (
+            list(external) if external is not None else discover_backends(grace=grace)
+        )
+        self.budget = budget
+        self.grace = grace
+        #: "<backend>:<outcome>" -> count, accumulated across races;
+        #: drain with :meth:`take_events`
+        self.events: dict[str, int] = {}
+        #: races run (0 external lanes still counts: the degraded path)
+        self.races = 0
+
+    @property
+    def has_external(self) -> bool:
+        """True when at least one external lane is configured."""
+        return bool(self.external)
+
+    def lane_names(self) -> list[str]:
+        """The lanes a race would run, internal first."""
+        return ["internal", *(backend.name for backend in self.external)]
+
+    # -- observability -----------------------------------------------------
+
+    def _record(self, backend: str, outcome: str) -> None:
+        key = f"{backend}:{outcome}"
+        self.events[key] = self.events.get(key, 0) + 1
+
+    def take_events(self) -> dict[str, int]:
+        """Return and clear the accumulated per-lane event counters."""
+        events = dict(self.events)
+        self.events.clear()
+        return events
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(
+        self,
+        solver: Solver,
+        clauses: Sequence[Sequence[int]],
+        assumptions: Sequence[int] = (),
+        conflict_budget: int | None = None,
+        deadline: float | None = None,
+    ) -> bool | None:
+        """Race all lanes on (*clauses* + *assumptions*); returns the
+        internal solver's three-valued convention.
+
+        *solver* is the caller's incremental solver: it runs the internal
+        lane (learned clauses and activities persist across calls, which
+        is what makes CEGAR refinement cheap), and a winning external SAT
+        model is installed into ``solver.model`` so ``model_value`` /
+        ``CnfBuilder.value`` work identically whichever lane won.
+        """
+        deadline = self._clamped_deadline(deadline)
+        self.races += 1
+        if not self.external:
+            # Degraded mode: no race, no threads — the internal solver
+            # alone, byte-identical to calling it directly.
+            answer = solver.solve(
+                assumptions=assumptions,
+                conflict_budget=conflict_budget,
+                deadline=deadline,
+            )
+            self._record("internal", _internal_outcome(answer))
+            return answer
+
+        cancel = threading.Event()
+        lock = threading.Lock()
+        winner: dict = {}
+        lane_results: dict[str, BackendResult] = {}
+        num_vars = solver.num_vars
+
+        def lane(backend) -> None:
+            result = backend.solve(
+                num_vars,
+                clauses,
+                assumptions=assumptions,
+                conflict_budget=conflict_budget,
+                deadline=deadline,
+                cancel=cancel,
+            )
+            with lock:
+                lane_results[backend.name] = result
+                if result.answer is not None and "result" not in winner:
+                    winner["result"] = result
+                    cancel.set()
+
+        threads = [
+            threading.Thread(
+                target=lane, args=(backend,), name=f"sat-lane-{backend.name}",
+                daemon=True,
+            )
+            for backend in self.external
+        ]
+        for thread in threads:
+            thread.start()
+
+        # The internal lane runs here, on the calling thread: the CDCL
+        # state stays single-threaded, and the cancel event is its poll.
+        internal = InternalBackend(solver)
+        internal_result = internal.solve(
+            num_vars,
+            clauses,
+            assumptions=assumptions,
+            conflict_budget=conflict_budget,
+            deadline=deadline,
+            cancel=cancel,
+        )
+        with lock:
+            lane_results["internal"] = internal_result
+            if internal_result.answer is not None and "result" not in winner:
+                winner["result"] = internal_result
+                cancel.set()
+
+        if "result" not in winner:
+            # Internal gave up (budget) but external lanes may still be
+            # working toward the deadline: wait for them.
+            for thread in threads:
+                thread.join(timeout=_JOIN_TIMEOUT)
+        cancel.set()
+        for thread in threads:
+            thread.join(timeout=_JOIN_TIMEOUT)
+
+        result = winner.get("result")
+        for name, lane_result in sorted(lane_results.items()):
+            if result is not None and lane_result is result:
+                self._record(name, f"win-{lane_result.outcome}")
+            else:
+                self._record(name, lane_result.outcome)
+
+        if result is None:
+            return None
+        if result.answer is True and result.backend != "internal":
+            # Install the validated external model so extraction paths
+            # (model_value, CnfBuilder.value) behave as if the internal
+            # solver had produced it.
+            assert result.model is not None
+            solver.model = list(result.model)
+        return result.answer
+
+    def _clamped_deadline(self, deadline: float | None) -> float | None:
+        if self.budget is None or self.budget.deadline is None:
+            return deadline
+        if deadline is None:
+            return self.budget.deadline
+        return min(deadline, self.budget.deadline)
+
+
+def _internal_outcome(answer: bool | None) -> str:
+    if answer is True:
+        return "win-sat"
+    if answer is False:
+        return "win-unsat"
+    return "unknown"
+
+
+def resolve_backend(
+    mode: str = "auto",
+    budget: "Budget | None" = None,
+    grace: float = 1.0,
+) -> PortfolioSolver | None:
+    """Map a ``--sat-backend`` mode to a portfolio (or None = internal).
+
+    * ``"internal"`` — always ``None``: the classic in-process path.
+    * ``"portfolio"`` — always a :class:`PortfolioSolver`; with no
+      binary discovered it degrades to internal-only (identical
+      verdicts, models, and solver statistics).
+    * ``"auto"`` — a portfolio only when an external binary was
+      discovered, else ``None`` so the default path does not even pay
+      for clause mirroring.
+    """
+    if mode not in BACKEND_MODES:
+        raise ValueError(
+            f"unknown sat backend mode {mode!r}; expected one of {BACKEND_MODES}"
+        )
+    if mode == "internal":
+        return None
+    portfolio = PortfolioSolver(budget=budget, grace=grace)
+    if mode == "auto" and not portfolio.has_external:
+        return None
+    return portfolio

@@ -1,0 +1,406 @@
+"""Tests for the pluggable SAT backends (repro.sat.backends).
+
+The external lanes are exercised with fake solver shell scripts — one
+per failure mode (instant SAT, instant UNSAT, hang-ignoring-SIGTERM,
+lying model, garbage exit) — so every outcome the portfolio must absorb
+is reproduced deterministically without a real kissat/CaDiCaL install.
+After every subprocess interaction the tests assert via ``/proc`` that
+no child survived.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import stat
+import subprocess
+import threading
+import time
+
+import pytest
+
+from repro.runtime import faults
+from repro.sat.backends import (
+    DEFAULT_SOLVER_NAMES,
+    SOLVERS_ENV_VAR,
+    DimacsSubprocessBackend,
+    InternalBackend,
+    discover_backends,
+    terminate_process,
+    validate_model,
+)
+
+# A fixed satisfiable CNF: (1 | 2) & (-1 | 2) — any model with 2=true.
+SAT_CLAUSES = [[1, 2], [-1, 2]]
+SAT_NUM_VARS = 2
+# A fixed unsatisfiable CNF.
+UNSAT_CLAUSES = [[1], [-1]]
+UNSAT_NUM_VARS = 1
+
+
+def make_script(tmp_path, name: str, body: str) -> str:
+    """Write an executable shell script and return its absolute path."""
+    path = tmp_path / name
+    path.write_text("#!/bin/sh\n" + body)
+    path.chmod(path.stat().st_mode | stat.S_IXUSR | stat.S_IXGRP)
+    return str(path)
+
+
+def assert_no_leaked_children(marker: str) -> None:
+    """Scan /proc for any live process whose cmdline contains *marker*.
+
+    The acceptance criterion for every race: no solver child outlives
+    the call that spawned it.
+    """
+    deadline = time.monotonic() + 5.0
+    while True:
+        leaked = []
+        for pid in os.listdir("/proc"):
+            if not pid.isdigit():
+                continue
+            try:
+                with open(f"/proc/{pid}/cmdline", "rb") as fp:
+                    cmdline = fp.read().replace(b"\0", b" ").decode(
+                        "utf-8", "replace"
+                    )
+            except OSError:
+                continue
+            if marker in cmdline:
+                leaked.append((pid, cmdline))
+        if not leaked:
+            return
+        # Zombies linger until reaped; give the reaper a moment before
+        # declaring a leak.
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"leaked solver processes: {leaked}")
+        time.sleep(0.05)
+
+
+@pytest.fixture
+def fake_sat(tmp_path):
+    """Claims SAT with a model satisfying SAT_CLAUSES."""
+    return make_script(
+        tmp_path, "fake-sat",
+        'echo "s SATISFIABLE"\necho "v -1 2 0"\nexit 10\n',
+    )
+
+
+@pytest.fixture
+def fake_unsat(tmp_path):
+    return make_script(
+        tmp_path, "fake-unsat", 'echo "s UNSATISFIABLE"\nexit 20\n'
+    )
+
+
+@pytest.fixture
+def fake_hang(tmp_path):
+    """Ignores SIGTERM and sleeps; only SIGKILL ends it."""
+    return make_script(
+        tmp_path, "fake-hang", "trap '' TERM\nsleep 60\n"
+    )
+
+
+@pytest.fixture
+def fake_liar(tmp_path):
+    """Claims SAT with a model that violates the clauses (2=false)."""
+    return make_script(
+        tmp_path, "fake-liar",
+        'echo "s SATISFIABLE"\necho "v 1 -2 0"\nexit 10\n',
+    )
+
+
+@pytest.fixture
+def fake_garbage(tmp_path):
+    return make_script(
+        tmp_path, "fake-garbage", 'echo "segmentation fault"\nexit 3\n'
+    )
+
+
+class TestValidateModel:
+    def test_accepts_satisfying_model(self):
+        assert validate_model(2, SAT_CLAUSES, [0, 0, 1])
+        assert validate_model(2, SAT_CLAUSES, [0, 1, 1])
+
+    def test_rejects_violating_model(self):
+        assert not validate_model(2, SAT_CLAUSES, [0, 1, 0])
+
+    def test_rejects_short_model(self):
+        assert not validate_model(2, SAT_CLAUSES, [0, 1])
+
+    def test_checks_assumptions(self):
+        model = [0, 0, 1]
+        assert validate_model(2, SAT_CLAUSES, model, assumptions=[2])
+        assert not validate_model(2, SAT_CLAUSES, model, assumptions=[1])
+        assert not validate_model(2, SAT_CLAUSES, model, assumptions=[-2])
+
+    def test_rejects_assumption_outside_range(self):
+        assert not validate_model(2, SAT_CLAUSES, [0, 0, 1], assumptions=[3])
+
+    def test_empty_formula(self):
+        assert validate_model(0, [], [0])
+
+
+class TestInternalBackend:
+    def test_sat(self):
+        result = InternalBackend().solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is True
+        assert result.outcome == "sat"
+        assert result.model is not None
+        assert validate_model(SAT_NUM_VARS, SAT_CLAUSES, result.model)
+        assert result.backend == "internal"
+
+    def test_unsat(self):
+        result = InternalBackend().solve(UNSAT_NUM_VARS, UNSAT_CLAUSES)
+        assert result.answer is False
+        assert result.outcome == "unsat"
+        assert result.model is None
+
+    def test_assumptions(self):
+        result = InternalBackend().solve(
+            SAT_NUM_VARS, SAT_CLAUSES, assumptions=[-2]
+        )
+        assert result.answer is False
+
+    def test_pre_set_cancel_is_unknown(self):
+        cancel = threading.Event()
+        cancel.set()
+        result = InternalBackend().solve(
+            SAT_NUM_VARS, SAT_CLAUSES, cancel=cancel
+        )
+        assert result.answer is None
+        assert result.outcome == "unknown"
+
+    def test_expired_deadline_is_timeout(self):
+        result = InternalBackend().solve(
+            SAT_NUM_VARS, SAT_CLAUSES, deadline=time.monotonic() - 1.0
+        )
+        assert result.answer is None
+        assert result.outcome == "timeout"
+
+    def test_wraps_live_solver(self):
+        from repro.sat.solver import Solver
+
+        solver = Solver()
+        solver.new_vars(2)
+        for clause in SAT_CLAUSES:
+            solver.add_clause(clause)
+        backend = InternalBackend(solver)
+        result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is True
+        # The live solver's model is the backend's model.
+        assert solver.model_value(2)
+
+
+class TestSubprocessBackendLanes:
+    """One test per fake-solver failure mode — every lane outcome."""
+
+    def test_instant_sat(self, fake_sat):
+        backend = DimacsSubprocessBackend([fake_sat], name="fake")
+        result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is True
+        assert result.outcome == "sat"
+        assert result.model == [0, 0, 1]
+        assert_no_leaked_children(fake_sat)
+
+    def test_instant_unsat(self, fake_unsat):
+        backend = DimacsSubprocessBackend([fake_unsat], name="fake")
+        result = backend.solve(UNSAT_NUM_VARS, UNSAT_CLAUSES)
+        assert result.answer is False
+        assert result.outcome == "unsat"
+        assert_no_leaked_children(fake_unsat)
+
+    def test_hang_hits_deadline_and_is_killed(self, fake_hang):
+        backend = DimacsSubprocessBackend([fake_hang], name="fake", grace=0.2)
+        start = time.monotonic()
+        result = backend.solve(
+            SAT_NUM_VARS, SAT_CLAUSES, deadline=time.monotonic() + 0.3
+        )
+        elapsed = time.monotonic() - start
+        assert result.answer is None
+        assert result.outcome == "timeout"
+        # deadline (0.3s) + grace (0.2s) + slack, nowhere near sleep 60
+        assert elapsed < 10.0
+        assert_no_leaked_children(fake_hang)
+
+    def test_hang_cancelled_and_killed(self, fake_hang):
+        backend = DimacsSubprocessBackend([fake_hang], name="fake", grace=0.2)
+        cancel = threading.Event()
+        timer = threading.Timer(0.2, cancel.set)
+        timer.start()
+        try:
+            result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES, cancel=cancel)
+        finally:
+            timer.cancel()
+        assert result.answer is None
+        assert result.outcome == "unknown"
+        assert_no_leaked_children(fake_hang)
+
+    def test_lying_model_is_garbled(self, fake_liar):
+        backend = DimacsSubprocessBackend([fake_liar], name="fake")
+        result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is None
+        assert result.outcome == "garbled"
+        assert "validation" in (result.detail or "")
+        assert_no_leaked_children(fake_liar)
+
+    def test_garbage_exit_is_crash(self, fake_garbage):
+        backend = DimacsSubprocessBackend([fake_garbage], name="fake")
+        result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is None
+        assert result.outcome == "crash"
+        assert_no_leaked_children(fake_garbage)
+
+    def test_status_exit_disagreement_is_garbled(self, tmp_path):
+        script = make_script(
+            tmp_path, "fake-confused", 'echo "s SATISFIABLE"\nexit 20\n'
+        )
+        backend = DimacsSubprocessBackend([script], name="fake")
+        result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is None
+        assert result.outcome == "garbled"
+
+    def test_bad_v_line_token_is_garbled(self, tmp_path):
+        script = make_script(
+            tmp_path, "fake-vline",
+            'echo "s SATISFIABLE"\necho "v 1 spam 0"\nexit 10\n',
+        )
+        backend = DimacsSubprocessBackend([script], name="fake")
+        result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is None
+        assert result.outcome == "garbled"
+
+    def test_missing_binary_is_crash_not_exception(self, tmp_path):
+        backend = DimacsSubprocessBackend(
+            [str(tmp_path / "no-such-solver")], name="fake"
+        )
+        result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is None
+        assert result.outcome == "crash"
+
+    def test_assumptions_become_units(self, fake_unsat, tmp_path):
+        # A solver seeing assumption -2 as a unit clause must see an
+        # UNSAT formula; the recorder script proves the unit was written.
+        recorder = make_script(
+            tmp_path, "recorder",
+            f'cp "$1" {tmp_path}/seen.cnf\n'
+            'echo "s UNSATISFIABLE"\nexit 20\n',
+        )
+        backend = DimacsSubprocessBackend([recorder], name="fake")
+        result = backend.solve(
+            SAT_NUM_VARS, SAT_CLAUSES, assumptions=[-2]
+        )
+        assert result.answer is False
+        seen = (tmp_path / "seen.cnf").read_text()
+        assert "-2 0" in seen
+
+    def test_helper_variables_in_model_ignored(self, tmp_path):
+        script = make_script(
+            tmp_path, "fake-helpers",
+            'echo "s SATISFIABLE"\necho "v -1 2 7 0"\nexit 10\n',
+        )
+        backend = DimacsSubprocessBackend([script], name="fake")
+        result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is True
+        assert result.model == [0, 0, 1]
+
+
+class TestBackendFaults:
+    def setup_method(self):
+        faults.reset()
+
+    def teardown_method(self):
+        faults.reset()
+
+    def test_crash_fault_fires_before_spawn(self, fake_sat):
+        backend = DimacsSubprocessBackend([fake_sat], name="fake")
+        with faults.inject("sat.backend.crash"):
+            result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        assert result.answer is None
+        assert result.outcome == "crash"
+        assert faults.fired_count("sat.backend.crash") == 1
+        assert_no_leaked_children(fake_sat)
+
+    def test_garble_fault_flips_the_model(self, fake_sat):
+        backend = DimacsSubprocessBackend([fake_sat], name="fake")
+        with faults.inject("sat.backend.garble"):
+            result = backend.solve(SAT_NUM_VARS, SAT_CLAUSES)
+        # The honest model had 2=true; garbled it fails validation.
+        assert result.answer is None
+        assert result.outcome == "garbled"
+        assert faults.fired_count("sat.backend.garble") == 1
+
+
+class TestTerminateProcess:
+    def test_polite_child_gets_sigterm(self):
+        proc = subprocess.Popen(
+            ["sleep", "60"], start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        terminate_process(proc, grace=2.0)
+        assert proc.poll() == -signal.SIGTERM
+
+    def test_stubborn_child_gets_sigkill(self, fake_hang):
+        proc = subprocess.Popen(
+            [fake_hang, "ignored"], start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        # Give the shell a beat to install its TERM trap.
+        time.sleep(0.2)
+        terminate_process(proc, grace=0.3)
+        assert proc.poll() == -signal.SIGKILL
+        assert_no_leaked_children(fake_hang)
+
+    def test_already_dead_child_is_a_noop(self):
+        proc = subprocess.Popen(
+            ["true"], stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        proc.wait()
+        terminate_process(proc, grace=1.0)
+        assert proc.poll() == 0
+
+
+class TestDiscovery:
+    def test_no_binaries_means_no_backends(self):
+        assert discover_backends(environ={SOLVERS_ENV_VAR: ""}) == []
+
+    def test_env_var_lists_commands(self, fake_sat, fake_unsat):
+        backends = discover_backends(
+            environ={SOLVERS_ENV_VAR: f"{fake_sat},{fake_unsat}"}
+        )
+        assert [b.name for b in backends] == ["fake-sat", "fake-unsat"]
+
+    def test_missing_entries_are_skipped(self, fake_sat, tmp_path):
+        spec = f"{tmp_path}/nonexistent,{fake_sat}"
+        backends = discover_backends(environ={SOLVERS_ENV_VAR: spec})
+        assert [b.name for b in backends] == ["fake-sat"]
+
+    def test_command_arguments_survive(self, tmp_path):
+        script = make_script(tmp_path, "argsolver", "exit 20\n")
+        backends = discover_backends(
+            environ={SOLVERS_ENV_VAR: f"{script} --quiet -t 8"}
+        )
+        assert len(backends) == 1
+        assert backends[0].command == [script, "--quiet", "-t", "8"]
+
+    def test_duplicate_names_are_disambiguated(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = make_script(tmp_path / "a", "solver", "exit 20\n")
+        b = make_script(tmp_path / "b", "solver", "exit 20\n")
+        backends = discover_backends(environ={SOLVERS_ENV_VAR: f"{a},{b}"})
+        assert [backend.name for backend in backends] == ["solver", "solver-1"]
+
+    def test_default_names_are_kissat_then_cadical(self):
+        assert DEFAULT_SOLVER_NAMES == ("kissat", "cadical")
+
+    def test_unset_env_probes_path(self, monkeypatch, tmp_path):
+        # Simulate kissat on $PATH: the probe goes through shutil.which,
+        # which reads the real environment's PATH.
+        bin_dir = tmp_path / "bin"
+        bin_dir.mkdir()
+        kissat = bin_dir / "kissat"
+        kissat.write_text("#!/bin/sh\nexit 20\n")
+        kissat.chmod(0o755)
+        monkeypatch.setenv("PATH", str(bin_dir))
+        backends = discover_backends(environ={})
+        assert [backend.name for backend in backends] == ["kissat"]

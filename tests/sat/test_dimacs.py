@@ -46,3 +46,29 @@ class TestParsing:
     def test_malformed_header(self):
         with pytest.raises(ValueError):
             parse_dimacs(io.StringIO("p dnf 2 1\n1 0\n"))
+
+    def test_too_few_clauses_rejected(self):
+        with pytest.raises(ValueError, match="declares 3 clauses"):
+            parse_dimacs(io.StringIO("p cnf 2 3\n1 0\n-1 2 0\n"))
+
+    def test_too_many_clauses_rejected(self):
+        with pytest.raises(ValueError, match="declares 1 clauses"):
+            parse_dimacs(io.StringIO("p cnf 2 1\n1 0\n2 0\n"))
+
+    def test_literal_above_declared_range_rejected(self):
+        with pytest.raises(ValueError, match="literal 3 exceeds"):
+            parse_dimacs(io.StringIO("p cnf 2 1\n1 3 0\n"))
+
+    def test_negative_literal_above_range_rejected(self):
+        with pytest.raises(ValueError, match="literal -5 exceeds"):
+            parse_dimacs(io.StringIO("p cnf 4 1\n1 -5 0\n"))
+
+    def test_clause_before_header_rejected(self):
+        # With no declared variables every literal is out of range.
+        with pytest.raises(ValueError, match="exceeds the declared"):
+            parse_dimacs(io.StringIO("1 2 0\np cnf 2 1\n"))
+
+    def test_boundary_literal_accepted(self):
+        num_vars, clauses = parse_dimacs(io.StringIO("p cnf 3 1\n-3 3 0\n"))
+        assert num_vars == 3
+        assert clauses == [[-3, 3]]
