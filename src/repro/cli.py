@@ -80,6 +80,38 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bench", help="read the circuit from an ISCAS .bench file")
 
 
+def _add_cut_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cut-size", type=int, default=None, choices=[4, 5, 6],
+        help="cut width for functional-hashing steps (default: 4, the "
+        "precomputed NPN database); 5 or 6 synthesizes entries on demand "
+        "into a DynamicDatabase",
+    )
+    parser.add_argument(
+        "--npn-store", metavar="PATH", default=None,
+        help="persistent NPN-5/6 store backing --cut-size 5/6: created on "
+        "first use, crash-safe, shared across runs so later lookups skip "
+        "synthesis (ignored at cut size 4)",
+    )
+
+
+def _resolve_db(args: argparse.Namespace):
+    """NPN database (+ optional persistent store) for a CLI command.
+
+    Returns ``(db, store)`` — the store is non-None only for the
+    large-cut tiers, and the caller closes it when done.
+    """
+    cut_size = getattr(args, "cut_size", None)
+    if cut_size is not None and cut_size != 4:
+        from .rewriting.dynamic_db import DynamicDatabase
+
+        db = DynamicDatabase(num_vars=cut_size, store=args.npn_store)
+        return db, db.store
+    if getattr(args, "npn_store", None):
+        raise SystemExit("--npn-store needs --cut-size 5 or 6")
+    return NpnDatabase.load(args.db), None
+
+
 def _add_sat_backend_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sat-backend", default="internal",
@@ -126,6 +158,15 @@ def _batch_specs(args: argparse.Namespace) -> list:
             "--bench FILE (or --resume an existing batch)"
         )
 
+    npn_store = None
+    if args.cut_size is not None and args.cut_size != 4:
+        if args.npn_store is not None:
+            # Workers run in their own processes; hand them one absolute
+            # path so every job appends to the same store.
+            npn_store = str(Path(args.npn_store).resolve())
+    elif args.npn_store:
+        raise SystemExit("--npn-store needs --cut-size 5 or 6")
+
     outputs_dir = Path(args.workdir) / "outputs"
     specs = []
     seen: dict[str, int] = {}
@@ -142,6 +183,8 @@ def _batch_specs(args: argparse.Namespace) -> list:
                 sat_backend=args.sat_backend,
                 time_limit=args.time_limit,
                 conflict_limit=args.conflict_limit,
+                cut_size=args.cut_size,
+                npn_store=npn_store,
                 mem_limit_mb=args.mem_limit,
                 output=None if args.no_outputs else str(outputs_dir / f"{job_id}.blif"),
             )
@@ -238,6 +281,8 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         default_time_limit=args.time_limit,
         default_verify=args.verify,
         mem_limit_mb=args.mem_limit,
+        default_cut_size=args.cut_size,
+        npn_store=args.npn_store,
         drain_grace=args.drain_grace,
         verbose=args.verbose,
     )
@@ -260,6 +305,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="check functional equivalence after optimization")
     p_opt.add_argument("-o", "--output", help="write the result (BLIF, or .v Verilog)")
     p_opt.add_argument("--db", help="path to an alternative NPN database")
+    _add_cut_args(p_opt)
     p_opt.add_argument(
         "--metrics", metavar="PATH",
         help="dump hot-path pass metrics (counters, cache rates, phase "
@@ -303,6 +349,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_sat_backend_arg(p_flow)
     p_flow.add_argument("-o", "--output", help="write the result (BLIF/.v/.bench)")
     p_flow.add_argument("--db", help="path to an alternative NPN database")
+    _add_cut_args(p_flow)
     p_flow.add_argument(
         "--metrics", metavar="PATH",
         help="dump per-step hot-path metrics and merged totals as JSON to "
@@ -353,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
         "--verify", default="sim", choices=["off", "sim", "cec"],
         help="in-worker per-step verification policy (default: sim)",
     )
+    _add_cut_args(p_batch)
     _add_sat_backend_arg(p_batch)
     p_batch.add_argument(
         "--workdir", required=True, metavar="DIR",
@@ -427,6 +475,16 @@ def main(argv: list[str] | None = None) -> int:
         help="per-worker address-space rlimit in MiB",
     )
     p_serve.add_argument(
+        "--cut-size", type=int, default=None, choices=[4, 5, 6],
+        help="default cut width for requests that do not set their own "
+        "'cut_size' (default: 4)",
+    )
+    p_serve.add_argument(
+        "--npn-store", metavar="PATH", default=None,
+        help="persistent NPN-5/6 store the workers share for cut sizes "
+        "5/6; daemon configuration, never taken from requests",
+    )
+    p_serve.add_argument(
         "--max-attempts", type=int, default=2, metavar="N",
         help="worker attempts per request before it fails (default: 2)",
     )
@@ -481,6 +539,38 @@ def main(argv: list[str] | None = None) -> int:
     p_db_gen.add_argument("--largest-first", action="store_true",
                           help="process the biggest entries first")
     p_db_gen.add_argument("--quiet", action="store_true")
+    p_db_imp = db_sub.add_parser(
+        "improve",
+        help="tighten unproven entries of a persistent NPN-5/6 store with "
+        "budgeted exact synthesis (serial, or across supervised workers)",
+    )
+    p_db_imp.add_argument("--store", required=True, metavar="PATH",
+                          help="the NpnStore log to improve in place")
+    p_db_imp.add_argument("--vars", type=int, default=5, choices=[4, 5, 6],
+                          help="store arity (default: 5)")
+    p_db_imp.add_argument("--budget", type=int, default=30000,
+                          help="conflicts per SAT call (default: 30000)")
+    p_db_imp.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="improve across N supervised worker subprocesses (0 = "
+        "in-process serial; store content is identical either way, and "
+        "a killed parallel run resumes from its job journal)",
+    )
+    p_db_imp.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="improve at most N classes (largest first)",
+    )
+    p_db_imp.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="wall-clock bound for the whole improvement pass",
+    )
+    p_db_imp.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="batch state directory for --jobs > 0 (default: a fresh "
+        "temp dir; reuse one to resume an interrupted pass)",
+    )
+    _add_sat_backend_arg(p_db_imp)
+    p_db_imp.add_argument("--quiet", action="store_true")
 
     args = parser.parse_args(argv)
 
@@ -492,16 +582,21 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "optimize":
         mig = _load_network(args)
-        db = NpnDatabase.load(args.db)
+        db, store = _resolve_db(args)
         baseline = optimize_depth(mig) if args.depth_opt else mig
         start = time.perf_counter()
         optimized, stats = functional_hashing(
-            baseline, db, args.variant, return_stats=True
+            baseline, db, args.variant,
+            cut_size=args.cut_size if args.cut_size is not None else 4,
+            return_stats=True,
         )
         runtime = time.perf_counter() - start
         print(f"{mig.name}: {baseline.num_gates}/{baseline.depth()} -> "
               f"{optimized.num_gates}/{optimized.depth()} "
               f"({args.variant}, {runtime:.2f}s)")
+        if store is not None:
+            print(f"npn-store: {len(store)} classes in {store.path}")
+            store.close()
         if args.metrics:
             _dump_metrics(args.metrics, stats.metrics.to_dict())
         if args.verify:
@@ -528,7 +623,7 @@ def main(argv: list[str] | None = None) -> int:
         from .runtime.budget import Budget
 
         mig = _load_network(args)
-        db = NpnDatabase.load(args.db)
+        db, store = _resolve_db(args)
         script = [step for step in args.script.split(",") if step]
         budget = None
         if args.time_limit is not None or args.conflict_limit is not None:
@@ -539,10 +634,13 @@ def main(argv: list[str] | None = None) -> int:
         result, history = run_flow(
             mig, db, script, verbose=True,
             budget=budget, verify=args.verify, on_error=args.on_error,
-            sat_backend=args.sat_backend,
+            cut_size=args.cut_size, sat_backend=args.sat_backend,
         )
         print(f"final: {result.num_gates}/{result.depth()} "
               f"({sum(step.runtime for step in history):.2f}s total)")
+        if store is not None:
+            print(f"npn-store: {len(store)} classes in {store.path}")
+            store.close()
         if args.metrics:
             from .runtime.metrics import PassMetrics
 
@@ -632,6 +730,31 @@ def main(argv: list[str] | None = None) -> int:
             if args.quiet:
                 forwarded.append("--quiet")
             return db_generate_main(forwarded)
+        if args.db_command == "improve":
+            from .database.store import NpnStore, improve_store
+
+            with NpnStore.open(args.store, num_vars=args.vars) as store:
+                before = store.stats()
+                summary = improve_store(
+                    store,
+                    budget=args.budget,
+                    jobs=args.jobs,
+                    limit=args.limit,
+                    time_limit=args.time_limit,
+                    sat_backend=args.sat_backend,
+                    workdir=args.workdir,
+                    verbose=not args.quiet,
+                )
+            after = store.stats()
+            print(
+                f"store {args.store}: {after['entries']} classes "
+                f"({after['proven']} proven, was {before['proven']}); "
+                f"{summary['attempted']} attempted, "
+                f"{summary['improved']} improved, "
+                f"{summary['proven']} newly proven, "
+                f"{summary['conflicts']} conflicts"
+            )
+            return 0
         raise AssertionError("unreachable")
 
     raise AssertionError("unreachable")

@@ -64,8 +64,9 @@ __all__ = [
 #: Truth table of the single-variable projection x0 (trivial/PI cuts).
 _TT_X0 = 0b10
 
-#: width masks indexed by variable count (cuts have at most 4 leaves)
-_MASKS = (0b1, 0b11, 0xF, 0xFF, 0xFFFF)
+#: width masks indexed by variable count (cuts have at most 6 leaves —
+#: the large-cut pipeline records 5/6-variable programs too)
+_MASKS = (0b1, 0b11, 0xF, 0xFF, 0xFFFF, 0xFFFFFFFF, 0xFFFFFFFFFFFFFFFF)
 
 
 class _CutProgram:
@@ -126,12 +127,16 @@ class _CutProgram:
         """
         n = len(self.row_out)
         arity = self.arity
-        mask = np.fromiter(self.row_mask, np.int64, n)
-        sign = np.fromiter(self.row_sign, np.int64, arity * n).reshape(n, arity)
+        # Table dtype follows the widest cut: 6-variable tables occupy
+        # all 64 bits (uint64); everything narrower keeps the int64 path.
+        width = max(self.nv, default=0)
+        dtype = np.uint64 if width >= 6 else np.int64
+        mask = np.fromiter(self.row_mask, dtype, n)
+        sign = np.fromiter(self.row_sign, dtype, arity * n).reshape(n, arity)
         return evaluate_cut_program(
             len(self.nv),
             np.fromiter(self.init_idx, np.int64, len(self.init_idx)),
-            np.fromiter(self.init_vals, np.int64, len(self.init_vals)),
+            np.fromiter(self.init_vals, dtype, len(self.init_vals)),
             np.fromiter(self.row_lev, np.int64, n),
             np.fromiter(self.row_out, np.int64, n),
             mask,
@@ -139,6 +144,7 @@ class _CutProgram:
             sign * mask[:, None],
             np.fromiter(self.row_pid, np.int64, arity * n).reshape(n, arity),
             arity,
+            width=width,
         )
 
 
@@ -415,10 +421,11 @@ def _enumerate(
         for leaves, sig, size, child_entries in merged:
             if program is not None:
                 num_leaves = len(leaves)
-                if num_leaves > 4:
-                    # The batch program is 4-variable (expansion LUTs and
-                    # the NPN database are); wider cuts drop it entirely
-                    # and the pass stays on the scalar memo.
+                if num_leaves > 6:
+                    # The batch program covers cuts up to 6 leaves (the
+                    # wide-pattern executor and the dynamic NPN database
+                    # do); anything beyond drops it entirely and the
+                    # pass stays on the scalar memo.
                     program = None
                     slot = 0
                 else:
@@ -659,7 +666,12 @@ class CutSet:
         cached = self._slot_tables
         if cached is not None and cached[0] == num_vars:
             return cached[1]
-        v = self._batch_values.copy()  # type: ignore[union-attr]
+        # Extending to 6 variables shifts by 32 — only safe unsigned.
+        v = (
+            self._batch_values.astype(np.uint64)  # type: ignore[union-attr]
+            if num_vars >= 6
+            else self._batch_values.copy()  # type: ignore[union-attr]
+        )
         nv = self._batch_nv
         for k in range(num_vars):
             grow = nv <= k
@@ -836,7 +848,9 @@ class CutSet:
         """
         if self._batch_values is not None:
             sel = self._batch_gate_slots
-            v = self._batch_values[sel].copy()
+            v = self._batch_values[sel]
+            # Extending to 6 variables shifts by 32 — only safe unsigned.
+            v = v.astype(np.uint64) if num_vars >= 6 else v.copy()
             nv = self._batch_nv[sel]
             for k in range(num_vars):
                 grow = nv <= k
@@ -850,7 +864,9 @@ class CutSet:
                 if leaves == (node,):
                     continue
                 out.add(tt_extend(function(node, leaves), len(leaves), num_vars))
-        return np.array(sorted(out), dtype=np.int64)
+        return np.array(
+            sorted(out), dtype=np.uint64 if num_vars >= 6 else np.int64
+        )
 
     def function(self, root: int, leaves: tuple[int, ...]) -> int:
         """Local function of cut ``(root, leaves)`` over its leaves.

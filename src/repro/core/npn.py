@@ -66,10 +66,35 @@ def _remap_tables(num_vars: int) -> dict[tuple[tuple[int, ...], int], tuple[int,
     """Minterm remap tables for every (perm, flips) pair.
 
     ``table[m]`` is the source minterm of the base function whose value
-    lands on output minterm ``m`` after the transform.
+    lands on output minterm ``m`` after the transform.  Key order —
+    permutation-major, flips-minor, in ``itertools.permutations`` order —
+    is the canonization tie-break; every consumer (scalar loop, batch
+    argmin) walks it identically.
+
+    Up to 4 variables the build is a trivial pure-Python loop; for 5/6
+    (3 840 / 46 080 keys, up to ~17.7M table cells) the cells come from a
+    vectorized numpy builder with identical output.
     """
-    tables: dict[tuple[tuple[int, ...], int], tuple[int, ...]] = {}
     size = 1 << num_vars
+    if num_vars >= 5:
+        tables: dict[tuple[tuple[int, ...], int], tuple[int, ...]] = {}
+        m = np.arange(size, dtype=np.int64)
+        flip_bits = (m[:, None] >> np.arange(num_vars, dtype=np.int64)) & 1
+        shifts = np.left_shift(
+            np.int64(1), np.arange(num_vars, dtype=np.int64)
+        )
+        for perm in permutations(range(num_vars)):
+            # bits[j, m] = bit perm[j] of output minterm m
+            bits = np.stack([(m >> p) & 1 for p in perm])
+            # rows[f, m] = sum_j ((bits[j, m] ^ flip_bit_j(f)) << j)
+            rows = (
+                (flip_bits[:, :, None] ^ bits[None, :, :]) * shifts[None, :, None]
+            ).sum(axis=1)
+            cells = rows.tolist()
+            for flips in range(size):
+                tables[(perm, flips)] = tuple(cells[flips])
+        return tables
+    tables = {}
     for perm in permutations(range(num_vars)):
         for flips in range(size if num_vars else 1):
             table = []
@@ -202,23 +227,34 @@ def _batch_tables(num_vars: int):
     """
     tables = _remap_tables(num_vars)
     keys = list(tables.keys())
-    fwd = np.array([tables[k] for k in keys], dtype=np.int64)
+    # 6-var truth tables occupy all 64 bits, so that arity computes in
+    # uint64 end to end (left-shifting int64 by 63 is UB); narrower
+    # arities keep the original int64 path byte-for-byte.
+    dtype = np.uint64 if num_vars >= 6 else np.int64
+    fwd = np.array([tables[k] for k in keys], dtype=dtype)
     inv = [
         invert_transform(NPNTransform(perm, flips, False)) for perm, flips in keys
     ]
     inv_perms = tuple(t.perm for t in inv)
     inv_flips = tuple(t.flips for t in inv)
-    weights = np.left_shift(np.int64(1), np.arange(1 << num_vars, dtype=np.int64))
+    weights = np.left_shift(
+        dtype(1), np.arange(1 << num_vars, dtype=dtype)
+    )
     return fwd, inv_perms, inv_flips, weights
 
 
 #: memo for batch canonizations, the batch-path twin of the
-#: ``_canonize_cached`` lru (which cannot be fed externally).  Bounded by
-#: construction: only populated for ``num_vars <= 4`` (at most 65 536
-#: keys per arity).  Cleared together with the lru by
-#: :func:`canonize_cache_clear` — the cold-benchmark protocol clears
-#: both, warm multi-pass flows keep both.
+#: ``_canonize_cached`` lru (which cannot be fed externally).  Bounded:
+#: for ``num_vars <= 4`` by construction (at most 65 536 keys per
+#: arity); for 5/6 by :data:`_BATCH_MEMO_CAP` — once full, fresh wide
+#: canonizations stop inserting (they are still computed correctly).
+#: Cleared together with the lru by :func:`canonize_cache_clear` — the
+#: cold-benchmark protocol clears both, warm multi-pass flows keep both.
 _BATCH_MEMO: dict[tuple[int, int], tuple[int, NPNTransform]] = {}
+
+#: insertion cap for 5/6-variable batch memo entries (~tens of MB worst
+#: case; the persistent NPN store is the real cross-pass memory there)
+_BATCH_MEMO_CAP = 1 << 17
 
 
 def canonize_cache_clear() -> None:
@@ -248,18 +284,28 @@ def npn_canonize_batch(
     NPN equivalence.  Work is chunked to bound the ``(chunk, K, 2**n)``
     intermediate (~12 MB at the defaults for 4 variables).
 
-    Results are memoized across calls (for ``num_vars <= 4``): repeated
-    passes over the same design re-pay only the dict probes, mirroring
-    the scalar path's lru behavior.
+    Results are memoized across calls: unboundedly for ``num_vars <= 4``
+    (the whole function space fits), capped for 5/6 — repeated passes
+    over the same design re-pay only the dict probes, mirroring the
+    scalar path's lru behavior.
+
+    Arities 5 and 6 run the same argmin over 3 840 / 46 080 keys with an
+    inner key-block loop (a running strict-``<`` minimum, first
+    occurrence winning — block order equals key order, so the tie-break
+    is still exactly the scalar one) to bound the ``(chunk, K, 2**n)``
+    intermediate; 6-variable tables fill all 64 bits and compute in
+    uint64 end to end.
     """
     mask = tt_mask(num_vars)
-    F = np.asarray(fs, dtype=np.int64)
+    wide = num_vars >= 5
+    dtype = np.uint64 if num_vars >= 6 else np.int64
+    F = np.asarray(fs, dtype=dtype)
     if F.ndim != 1:
         raise ValueError("npn_canonize_batch expects a 1-D sequence of truth tables")
     if F.size and (int(F.min()) < 0 or int(F.max()) > mask):
         raise ValueError(f"truth table out of range for {num_vars} variables")
-    memoize = num_vars <= 4
-    if memoize and F.size:
+    memoize = num_vars <= 4 or len(_BATCH_MEMO) < _BATCH_MEMO_CAP
+    if F.size:
         memo = _BATCH_MEMO
         known = [memo.get((num_vars, int(f))) for f in F]
         missing = [i for i, pair in enumerate(known) if pair is None]
@@ -272,31 +318,55 @@ def npn_canonize_batch(
             for i, pair in zip(missing, fresh):
                 known[i] = pair
             return known  # type: ignore[return-value]
-    fc = F ^ mask
+    fc = F ^ dtype(mask)
     ones_f = np.bitwise_count(F.astype(np.uint64)).astype(np.int64)
     ones_fc = np.bitwise_count(fc.astype(np.uint64)).astype(np.int64)
     use_fc = (ones_fc < ones_f) | ((ones_fc == ones_f) & (fc < F))
     norm = np.where(use_fc, fc, F)
     fwd, inv_perms, inv_flips, weights = _batch_tables(num_vars)
     n = F.size
-    reps = np.empty(n, dtype=np.int64)
+    num_keys = fwd.shape[0]
+    size = 1 << num_vars
+    if wide:
+        # Bound both loops so the bits intermediate stays ~2M cells
+        # (~16 MB) whatever the arity (46 080 keys x 64 minterms at
+        # n = 6); narrow arities keep the original single key block.
+        chunk = max(1, min(chunk, (1 << 13) // size))
+        kblock = max(1, (1 << 21) // (chunk * size))
+    else:
+        kblock = num_keys
+    reps = np.empty(n, dtype=dtype)
     key_idx = np.empty(n, dtype=np.int64)
     out_flip = np.empty(n, dtype=np.int64)
-    num_keys = fwd.shape[0]
     for lo in range(0, n, chunk):
         sub = norm[lo : lo + chunk]
-        # bits[i, k, m] = value of input i's table at the source minterm
-        # that key k routes to output minterm m; packing with the weight
-        # vector rebuilds the transformed table g = t_k(f_i).
-        bits = (sub[:, None, None] >> fwd[None, :, :]) & 1
-        g = bits @ weights
-        cand = np.empty((sub.size, 2 * num_keys), dtype=np.int64)
-        cand[:, 0::2] = g
-        cand[:, 1::2] = g ^ mask
-        idx = np.argmin(cand, axis=1)
-        reps[lo : lo + chunk] = cand[np.arange(sub.size), idx]
-        key_idx[lo : lo + chunk] = idx >> 1
-        out_flip[lo : lo + chunk] = idx & 1
+        rows = np.arange(sub.size)
+        best = None
+        for klo in range(0, num_keys, kblock):
+            fsub = fwd[klo : klo + kblock]
+            # bits[i, k, m] = value of input i's table at the source
+            # minterm that key k routes to output minterm m; packing with
+            # the weight vector rebuilds the transformed table g = t_k(f_i).
+            bits = (sub[:, None, None] >> fsub[None, :, :]) & dtype(1)
+            g = bits @ weights[:size]
+            cand = np.empty((sub.size, 2 * fsub.shape[0]), dtype=dtype)
+            cand[:, 0::2] = g
+            cand[:, 1::2] = g ^ dtype(mask)
+            idx = np.argmin(cand, axis=1)
+            val = cand[rows, idx]
+            gidx = idx + 2 * klo
+            if best is None:
+                best, best_idx = val, gidx
+            else:
+                # Strict < keeps the earlier block on ties: combined with
+                # argmin's first-occurrence rule inside a block, the
+                # winner is exactly the scalar key-order tie-break.
+                better = val < best
+                best = np.where(better, val, best)
+                best_idx = np.where(better, gidx, best_idx)
+        reps[lo : lo + chunk] = best
+        key_idx[lo : lo + chunk] = best_idx >> 1
+        out_flip[lo : lo + chunk] = best_idx & 1
     out: list[tuple[int, NPNTransform]] = []
     for i in range(n):
         k = int(key_idx[i])

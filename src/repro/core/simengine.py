@@ -415,7 +415,12 @@ def expansion_lut(dst_len: int, positions: tuple[int, ...]) -> np.ndarray:
     lut = _EXPANSION_LUTS.get(key)
     if lut is None:
         src_len = len(positions)
-        if src_len > dst_len or dst_len > 4:
+        # dst_len = 5 still fits: source tables index at most 2**16 rows
+        # (src_len <= 4) and 5-variable values stay below 2**32.  Wider
+        # destinations (values filling 64 bits) and 5-variable sources
+        # (2**32 rows) have no materializable LUT — those patterns live
+        # in the wide registry (negative ids from :func:`expansion_pid`).
+        if src_len > dst_len or dst_len > 5 or src_len > 4:
             raise ValueError(f"unsupported expansion {positions} -> {dst_len} vars")
         # source minterm feeding each destination minterm m
         m = np.arange(1 << dst_len, dtype=np.int64)
@@ -444,6 +449,14 @@ _PATTERN_IDS: dict[tuple[int, tuple[int, ...]], int] = {}
 _LUT2D: np.ndarray | None = None
 _LUT2D_ROWS = 0
 
+#: wide expansion patterns — those with no materializable LUT row
+#: (destination of 6 variables, or a 5-variable source).  Keyed by the
+#: *negative* pattern id handed out by :func:`expansion_pid`, so the
+#: enumeration hot loop keeps its single ``_PATTERN_IDS`` dict probe;
+#: each value is ``(src_minterm, weights)`` for the direct
+#: bit-extraction evaluation ``((vals >> src_minterm) & 1) @ weights``.
+_WIDE_PATTERNS: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
 
 def expansion_pid(dst_len: int, positions: tuple[int, ...]) -> int:
     """Register (or look up) an expansion pattern; returns its LUT2D row.
@@ -452,11 +465,27 @@ def expansion_pid(dst_len: int, positions: tuple[int, ...]) -> int:
     positions)[tt]`` for every source table *tt*.  Pattern id 0 is the
     identity and is never returned here — callers use 0 directly when a
     child cut already lives on the destination leaf set.
+
+    Patterns beyond LUT reach — 6-variable destinations or 5-variable
+    sources — get a **negative** id backed by :data:`_WIDE_PATTERNS`;
+    the executor evaluates those by bit extraction instead of a table
+    gather.
     """
     global _LUT2D, _LUT2D_ROWS
     key = (dst_len, positions)
     pid = _PATTERN_IDS.get(key)
     if pid is None:
+        src_len = len(positions)
+        if dst_len > 5 or src_len > 4:
+            m = np.arange(1 << dst_len, dtype=np.uint64)
+            src_minterm = np.zeros_like(m)
+            for j, p in enumerate(positions):
+                src_minterm |= ((m >> np.uint64(p)) & np.uint64(1)) << np.uint64(j)
+            weights = np.left_shift(np.uint64(1), m)
+            pid = -(len(_WIDE_PATTERNS) + 1)
+            _WIDE_PATTERNS[pid] = (src_minterm, weights)
+            _PATTERN_IDS[key] = pid
+            return pid
         if _LUT2D is None:
             _LUT2D = np.empty((8, 1 << 16), dtype=np.int64)
             _LUT2D[0] = np.arange(1 << 16, dtype=np.int64)
@@ -487,6 +516,38 @@ def expansion_lut2d() -> np.ndarray:
     return _LUT2D[: _LUT2D_ROWS]
 
 
+def _gather_expand(
+    lut2d: np.ndarray, pid: np.ndarray, vals: np.ndarray, dtype
+) -> np.ndarray:
+    """Wide-program fanin re-expression: LUT rows plus special cases.
+
+    The plain path gathers every fanin through ``lut2d[pid, vals]``; that
+    needs every value to be a valid column (< 2**16) — true only when no
+    cut exceeds 4 leaves.  Wide programs route per pattern class instead:
+    identity (pid 0) copies the value (5/6-variable tables are *not*
+    valid columns), positive pids gather (their sources are <= 4
+    variables by construction), negative pids evaluate the registered
+    wide pattern by bit extraction.
+    """
+    out = np.empty(pid.shape, dtype=dtype)
+    ident = pid == 0
+    if ident.any():
+        out[ident] = vals[ident]
+    reg = pid > 0
+    if reg.any():
+        out[reg] = lut2d[pid[reg], vals[reg].astype(np.int64)].astype(dtype)
+    wide = pid < 0
+    if wide.any():
+        for wpid in np.unique(pid[wide]).tolist():
+            rows = pid == wpid
+            src_minterm, weights = _WIDE_PATTERNS[int(wpid)]
+            bits = (
+                vals[rows].astype(np.uint64)[:, None] >> src_minterm[None, :]
+            ) & np.uint64(1)
+            out[rows] = (bits @ weights).astype(dtype)
+    return out
+
+
 def evaluate_cut_program(
     num_slots: int,
     init_idx: np.ndarray,
@@ -498,6 +559,7 @@ def evaluate_cut_program(
     comp_mask: np.ndarray,
     pid: np.ndarray,
     arity: int,
+    width: int = 4,
 ) -> np.ndarray:
     """Run a flat cut-function program; returns the per-slot tables.
 
@@ -514,10 +576,19 @@ def evaluate_cut_program(
 
     Results are bit-identical to the scalar ``CutSet.function``
     derivation (same expansion tables, same gate semantics).
+
+    *width* is the widest cut in the program.  Up to 4 the original
+    int64 single-gather level loop runs untouched; 5 keeps int64 (those
+    tables stay below 2**32) but routes fanins through
+    :func:`_gather_expand` because 5-variable values are not valid LUT
+    columns; 6 additionally computes in uint64 — those tables occupy the
+    full 64 bits.
     """
     if arity not in (2, 3):
         raise ValueError(f"unsupported gate arity {arity}")
-    values = np.zeros(num_slots, dtype=np.int64)
+    dtype = np.uint64 if width >= 6 else np.int64
+    wide = width >= 5
+    values = np.zeros(num_slots, dtype=dtype)
     if init_idx.size:
         values[init_idx] = init_vals
     n = out_idx.size
@@ -534,7 +605,12 @@ def evaluate_cut_program(
     starts = np.unique(lev, return_index=True)[1]
     bounds = np.append(starts[1:], n)
     for s, e in zip(starts.tolist(), bounds.tolist()):
-        v = lut2d[pid[s:e], values[child_idx[s:e]]] ^ comp_mask[s:e]
+        if wide:
+            v = _gather_expand(
+                lut2d, pid[s:e], values[child_idx[s:e]], dtype
+            ) ^ comp_mask[s:e]
+        else:
+            v = lut2d[pid[s:e], values[child_idx[s:e]]] ^ comp_mask[s:e]
         if arity == 3:
             a, b, c = v[:, 0], v[:, 1], v[:, 2]
             res = (a & b) | (a & c) | (b & c)

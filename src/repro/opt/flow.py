@@ -79,6 +79,7 @@ def _apply_step(
     step: str,
     budget: Budget | None,
     cut_limit: int | None = None,
+    cut_size: int | None = None,
 ) -> tuple[Mig, PassMetrics | None]:
     name = step.strip()
     upper = name.upper()
@@ -86,7 +87,11 @@ def _apply_step(
         if db is None:
             raise ValueError(f"step {step!r} needs an NPN database")
         metrics = PassMetrics(variant=upper)
-        kwargs = {} if cut_limit is None else {"cut_limit": cut_limit}
+        kwargs = {}
+        if cut_limit is not None:
+            kwargs["cut_limit"] = cut_limit
+        if cut_size is not None:
+            kwargs["cut_size"] = cut_size
         return functional_hashing(mig, db, upper, metrics=metrics, **kwargs), metrics
     if name == "depth":
         return optimize_depth(mig), None
@@ -167,6 +172,7 @@ def run_flow(
     verify: str = "off",
     on_error: str = "raise",
     cut_limit: int | None = None,
+    cut_size: int | None = None,
     on_step: Callable[[FlowStepStats], None] | None = None,
     sat_backend: str = "internal",
 ) -> tuple[Mig, list[FlowStepStats]]:
@@ -187,7 +193,9 @@ def run_flow(
     portfolio is shared across all steps so its per-lane event counters
     accumulate into each step's metrics.  *cut_limit* overrides the rewriters' per-node cut cap
     for every functional-hashing step (the batch runtime's degradation
-    ladder shrinks it on retries).  *on_step* is called with each step's
+    ladder shrinks it on retries); *cut_size* overrides the cut width
+    (5 or 6 needs a :class:`~repro.rewriting.dynamic_db.DynamicDatabase`
+    of matching arity).  *on_step* is called with each step's
     :class:`FlowStepStats` as soon as it concludes — the progress seam
     the serving tier streams from; callback failures are swallowed so a
     broken observer can never fail the optimization it observes.
@@ -250,7 +258,9 @@ def run_flow(
             record(step, current, start, "timeout", error="budget exhausted")
             continue
         try:
-            nxt, metrics = _apply_step(current, db, step, budget, cut_limit)
+            nxt, metrics = _apply_step(
+                current, db, step, budget, cut_limit, cut_size
+            )
         except BudgetExhausted as exc:
             record(step, current, start, "timeout", error=str(exc))
             continue
@@ -315,6 +325,7 @@ def optimize_until_convergence(
     on_error: str = "raise",
     metrics: PassMetrics | None = None,
     cut_limit: int | None = None,
+    cut_size: int | None = None,
     sat_backend: str = "internal",
 ) -> tuple[Mig, int]:
     """Repeat one functional-hashing variant until the size stops improving.
@@ -346,7 +357,11 @@ def optimize_until_convergence(
         if budget is not None and budget.expired():
             break
         pass_metrics = PassMetrics(variant=variant.upper())
-        kwargs = {} if cut_limit is None else {"cut_limit": cut_limit}
+        kwargs = {}
+        if cut_limit is not None:
+            kwargs["cut_limit"] = cut_limit
+        if cut_size is not None:
+            kwargs["cut_size"] = cut_size
         try:
             nxt = functional_hashing(
                 current, db, variant, metrics=pass_metrics, **kwargs

@@ -5,23 +5,31 @@ classes becomes impractical, which can be circumvented by considering a
 much smaller subset (see, e.g., [9])."*  This module implements that
 idea: instead of precomputing all 616 126 NPN-5 classes, entries are
 synthesized lazily for exactly the cut functions the rewriter encounters
-(the working set of real netlists is tiny), with an LRU-bounded cache.
+(the working set of real netlists is tiny), with an LRU-bounded
+in-memory tier and an optional persistent tier
+(:class:`repro.database.store.NpnStore`), so the first process ever to
+see a cut function pays synthesis once and every later lookup — in any
+process — is a dict probe.
 
 Each entry starts as a heuristic upper bound
 (:func:`repro.exact.heuristic.heuristic_mig`) and can optionally be
-tightened by budgeted exact synthesis.  The class is interface-compatible
-with :class:`repro.database.npn_db.NpnDatabase`, so every rewriting
-variant works unchanged with ``cut_size=5`` (or 6):
+tightened by budgeted exact synthesis, either inline (*improve_budget*)
+or afterwards by ``migopt db improve`` jobs through the batch runtime
+(:func:`repro.database.store.improve_store`).  The class is
+interface-compatible with :class:`repro.database.npn_db.NpnDatabase`,
+so every rewriting variant works unchanged with ``cut_size=5`` (or 6):
 
->>> db5 = DynamicDatabase(num_vars=5)
+>>> store = NpnStore.open("flows.npn5", num_vars=5)
+>>> db5 = DynamicDatabase(num_vars=5, store=store)
 >>> optimized = functional_hashing(mig, db5, "BF", cut_size=5)
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from pathlib import Path
 
-from ..core.npn import NPNTransform, npn_canonize
+from ..core.npn import NPNTransform, npn_canonize, npn_canonize_batch
 from ..database.npn_db import DbEntry, NpnDatabase
 from ..exact.heuristic import heuristic_mig
 from ..exact.synthesis import ExactSynthesizer
@@ -30,56 +38,173 @@ __all__ = ["DynamicDatabase"]
 
 
 class DynamicDatabase(NpnDatabase):
-    """A lazily populated NPN database for 5- or 6-input functions."""
+    """A lazily populated NPN database for 5- or 6-input functions.
+
+    Three tiers, probed in order:
+
+    1. the in-memory LRU (``max_entries`` classes, also mirrored into
+       ``self.entries`` for base-class compatibility);
+    2. the persistent store, when one is attached — a dict probe plus a
+       deserialization, shared by every process that opens the file;
+    3. fresh synthesis (heuristic upper bound, optionally tightened by
+       *improve_budget* conflicts of exact search), whose result is
+       pushed back into both warmer tiers.
+
+    Counters (drained into :class:`~repro.runtime.metrics.PassMetrics`
+    by the rewriters via :meth:`drain_metrics`): ``hits`` in-memory,
+    ``store_hits`` persistent-tier, ``misses`` synthesized-from-scratch,
+    ``evictions`` LRU evictions.
+    """
 
     def __init__(
         self,
         num_vars: int = 5,
         improve_budget: int = 0,
         max_entries: int = 50000,
+        store=None,
     ) -> None:
         if num_vars < 4 or num_vars > 6:
             raise ValueError("DynamicDatabase supports 4 to 6 variables")
         super().__init__([], num_vars)
+        if isinstance(store, (str, Path)):
+            from ..database.store import NpnStore
+
+            store = NpnStore.open(store, num_vars)
+        if store is not None and store.num_vars != num_vars:
+            raise ValueError(
+                f"store holds {store.num_vars}-var entries, "
+                f"database wants {num_vars}"
+            )
+        self.store = store
         self.improve_budget = improve_budget
         self.max_entries = max_entries
         self._lru: OrderedDict[int, DbEntry] = OrderedDict()
-        self.misses = 0
+        #: lookups answered from the in-memory LRU
         self.hits = 0
+        #: lookups that required fresh synthesis
+        self.misses = 0
+        #: lookups answered from the persistent store
+        self.store_hits = 0
+        #: classes dropped from the in-memory LRU (still on disk if stored)
+        self.evictions = 0
 
     @property
     def complete(self) -> bool:  # noqa: D401 — never complete by design
         """Always False: entries exist only for functions seen so far."""
         return False
 
-    def lookup(self, tt: int) -> tuple[DbEntry, NPNTransform]:
-        """Return (entry, transform); synthesizes the entry on first use."""
-        rep, transform = npn_canonize(tt, self.num_vars)
+    # -- the three-tier resolve -------------------------------------------
+
+    def _resolve(self, rep: int) -> DbEntry:
+        """Entry for class *rep*: LRU, then store, then synthesis."""
         entry = self._lru.get(rep)
         if entry is not None:
             self.hits += 1
             self._lru.move_to_end(rep)
-            return entry, transform
+            return entry
+        if self.store is not None:
+            entry = self.store.get(rep)
+            if entry is not None:
+                self.store_hits += 1
+                self._admit(rep, entry)
+                return entry
         self.misses += 1
         entry = self._synthesize_entry(rep)
+        if self.store is not None:
+            self.store.put(entry)
+            # The store may already hold a better witness (another
+            # process got here first); serve the best known.
+            entry = self.store.get(rep) or entry
+        self._admit(rep, entry)
+        return entry
+
+    def _admit(self, rep: int, entry: DbEntry) -> None:
         self._lru[rep] = entry
         self.entries[rep] = entry
         if len(self._lru) > self.max_entries:
             evicted, _ = self._lru.popitem(last=False)
             self.entries.pop(evicted, None)
-        return entry, transform
+            self.evictions += 1
+
+    # -- NpnDatabase interface --------------------------------------------
+
+    def lookup(self, tt: int) -> tuple[DbEntry, NPNTransform]:
+        """Return (entry, transform); synthesizes the entry on first use."""
+        self.lookups += 1
+        rep, transform = npn_canonize(tt, self.num_vars)
+        return self._resolve(rep), transform
+
+    def lookup_batch(self, tts) -> dict[int, tuple[DbEntry, NPNTransform]]:
+        """Batched :meth:`lookup`: canonize in one numpy sweep, then resolve.
+
+        Unlike the static base class — whose table maps classes without
+        an entry to ``None`` — a dynamic database synthesizes on miss, so
+        the batched rewriting pipeline populates the store exactly as the
+        scalar path does and :meth:`~repro.database.npn_db.NpnDatabase.
+        lookup_in` never raises for an in-table function.  Tier counters
+        fire here at build time (synthesis happens here); ``lookup_in``
+        still accounts per-consult ``lookups`` as for the base class.
+        """
+        tt_list = [int(t) for t in tts]
+        table: dict[int, tuple[DbEntry, NPNTransform]] = {}
+        for tt, (rep, transform) in zip(
+            tt_list, npn_canonize_batch(tt_list, self.num_vars)
+        ):
+            table[tt] = (self._resolve(rep), transform)
+        return table
+
+    # -- synthesis ---------------------------------------------------------
 
     def _synthesize_entry(self, rep: int) -> DbEntry:
+        """Best-effort minimum MIG for class *rep*, with sound proven flags.
+
+        Proven semantics, exhaustively:
+
+        * 0- or 1-gate heuristic results are minimal by construction;
+        * with no improvement budget, anything larger ships unproven;
+        * with a budget, the exact search runs below the upper bound and
+          always returns a witness — a strictly smaller MIG found SAT
+          (proven), the upper bound with every smaller size refuted
+          UNSAT (**proven at its current size** — the search proving
+          nothing smaller exists is as good as finding it), or the upper
+          bound on budget exhaustion (unproven).
+        """
         upper = heuristic_mig(rep, self.num_vars)
-        proven = upper.num_gates <= 1
-        if self.improve_budget > 0 and upper.num_gates > 1:
-            result = ExactSynthesizer(
-                conflict_budget=self.improve_budget,
-                max_gates=upper.num_gates - 1,
-            ).synthesize(rep, self.num_vars, upper_bound=upper)
-            if result.mig is not None:
-                return DbEntry.from_mig(
-                    rep, result.mig, proven=result.proven,
-                    conflicts=result.conflicts,
-                )
-        return DbEntry.from_mig(rep, upper, proven=proven)
+        if upper.num_gates <= 1 or self.improve_budget <= 0:
+            return DbEntry.from_mig(rep, upper, proven=upper.num_gates <= 1)
+        result = ExactSynthesizer(
+            conflict_budget=self.improve_budget,
+            max_gates=upper.num_gates - 1,
+        ).synthesize(rep, self.num_vars, upper_bound=upper)
+        return DbEntry.from_mig(
+            rep, result.mig, proven=result.proven, conflicts=result.conflicts,
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def drain_metrics(self, metrics) -> None:
+        """Fold tier counters into *metrics* and reset them.
+
+        Drain semantics (add then zero) so per-step
+        :class:`~repro.runtime.metrics.PassMetrics` snapshots merged by
+        ``migopt flow --metrics`` count each lookup exactly once.
+        """
+        metrics.store_hits += self.hits
+        metrics.store_disk_hits += self.store_hits
+        metrics.store_synth += self.misses
+        metrics.store_evictions += self.evictions
+        self.hits = self.misses = self.store_hits = self.evictions = 0
+
+    def stats(self) -> dict:
+        """Counters snapshot, including the attached store's (if any)."""
+        out = {
+            "num_vars": self.num_vars,
+            "memory_entries": len(self._lru),
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+            "evictions": self.evictions,
+        }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out

@@ -199,4 +199,7 @@ def rewrite_top_down(
     # Kernel counters of the construction network and the cleaned copy.
     metrics.record_network(new)
     metrics.record_network(result)
+    if hasattr(db, "drain_metrics"):
+        # Dynamic databases account their tier counters per pass.
+        db.drain_metrics(metrics)
     return result

@@ -56,7 +56,9 @@ def request_key(structural_hash: str, spec: JobSpec) -> str:
     Combines the canonical structural hash of the network with every
     spec field that can change the result: the flow script, mode,
     variant and pass bound, the verification policy, the time/conflict/
-    cut budgets, and the database selection.  Fields that only say
+    cut budgets, and the database selection (including the cut size and
+    backing NPN store when they deviate from the NPN-4 default).  Fields
+    that only say
     *where* things run or land (job id, paths, memory rlimit) are
     excluded, so resubmissions key identically regardless of naming.
 
@@ -76,6 +78,13 @@ def request_key(structural_hash: str, spec: JobSpec) -> str:
         "cut_limit": spec.cut_limit,
         "db": spec.db,
     }
+    # Large-cut fields join the key only when they deviate from the
+    # default tier, so every pre-existing cache entry keeps its key.
+    if spec.cut_size is not None and spec.cut_size != 4:
+        fields["cut_size"] = spec.cut_size
+        # The store's content shapes results (a warm store holds tighter
+        # witnesses), so a different store is a different request.
+        fields["npn_store"] = spec.npn_store
     blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

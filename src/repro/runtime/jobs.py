@@ -9,8 +9,9 @@ holds everything about jobs that must survive a crash:
 * :class:`JobSpec` — the serializable description of what to run;
 * :func:`degraded` — the retry ladder: each retry runs with *weaker
   parameters* (``verify=cec → sim``, halved conflict budget, halved cut
-  limit) so a job that failed on resource pressure still produces a
-  verified, if less optimized, result before quarantine;
+  limit, large cuts back to the precomputed NPN-4 tier) so a job that
+  failed on resource pressure still produces a verified, if less
+  optimized, result before quarantine;
 * :class:`JobJournal` — an append-only JSONL event log.  Every event is
   flushed and fsynced before the supervisor acts on it, and replay
   tolerates a torn final line (the PR 1 artifact rules applied to a log:
@@ -90,6 +91,12 @@ class JobSpec:
     time_limit: float | None = None
     conflict_limit: int | None = None
     cut_limit: int | None = None
+    #: cut width for functional-hashing steps (None = engine default 4;
+    #: 5 or 6 runs against a lazily-populated DynamicDatabase)
+    cut_size: int | None = None
+    #: persistent NPN store path backing cut_size > 4 (see
+    #: repro.database.store.NpnStore); ignored at the default cut size
+    npn_store: str | None = None
     #: address-space rlimit for the worker process, in MiB
     mem_limit_mb: int | None = None
     #: alternative NPN database path (None = packaged default)
@@ -116,6 +123,8 @@ class JobSpec:
             "time_limit": self.time_limit,
             "conflict_limit": self.conflict_limit,
             "cut_limit": self.cut_limit,
+            "cut_size": self.cut_size,
+            "npn_store": self.npn_store,
             "mem_limit_mb": self.mem_limit_mb,
             "db": self.db,
             "output": self.output,
@@ -139,6 +148,8 @@ class JobSpec:
             time_limit=_opt_float(data.get("time_limit")),
             conflict_limit=_opt_int(data.get("conflict_limit")),
             cut_limit=_opt_int(data.get("cut_limit")),
+            cut_size=_opt_int(data.get("cut_size")),
+            npn_store=_opt_str(data.get("npn_store")),
             mem_limit_mb=_opt_int(data.get("mem_limit_mb")),
             db=_opt_str(data.get("db")),
             output=_opt_str(data.get("output")),
@@ -178,6 +189,11 @@ def degraded(spec: JobSpec) -> tuple[JobSpec, list[str]]:
     if spec.verify == "cec":
         changes["verify"] = "sim"
         notes.append("verify:cec->sim")
+    if spec.cut_size is not None and spec.cut_size > 4:
+        # Large-cut hashing puts on-demand synthesis on the hot path; a
+        # struggling job retries at the precomputed NPN-4 tier first.
+        changes["cut_size"] = 4
+        notes.append(f"cut_size:{spec.cut_size}->4")
     if spec.conflict_limit is not None and spec.conflict_limit > MIN_CONFLICT_LIMIT:
         new_limit = max(MIN_CONFLICT_LIMIT, spec.conflict_limit // 2)
         changes["conflict_limit"] = new_limit

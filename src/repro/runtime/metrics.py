@@ -88,6 +88,16 @@ class PassMetrics:
     #: portfolio lane fates ("<backend>:<outcome>" -> count) from
     #: SAT backend races; empty on the pure-internal path
     sat_backend_events: dict[str, int] = field(default_factory=dict)
+    #: dynamic-database lookups answered from the in-memory LRU tier
+    store_hits: int = 0
+    #: dynamic-database lookups answered from the persistent NPN store
+    store_disk_hits: int = 0
+    #: dynamic-database lookups that synthesized a fresh entry
+    store_synth: int = 0
+    #: classes dropped from the dynamic database's in-memory LRU
+    store_evictions: int = 0
+    #: store entries shrunk or proven by background ``db improve`` work
+    store_improved: int = 0
     #: gate constructions answered by the kernel's structural-hash table
     kernel_strash_hits: int = 0
     #: gate constructions simplified away by a kernel facade unit rule
@@ -167,6 +177,11 @@ class PassMetrics:
         self.sat_restarts += other.sat_restarts
         self.sat_learned += other.sat_learned
         self.record_backend_events(other.sat_backend_events)
+        self.store_hits += other.store_hits
+        self.store_disk_hits += other.store_disk_hits
+        self.store_synth += other.store_synth
+        self.store_evictions += other.store_evictions
+        self.store_improved += other.store_improved
         self.kernel_strash_hits += other.kernel_strash_hits
         self.kernel_unit_rules += other.kernel_unit_rules
         self.sim_words += other.sim_words
@@ -207,6 +222,12 @@ class PassMetrics:
         return self._rate(self.batch_cut_functions, self.cut_functions_computed)
 
     @property
+    def store_hit_rate(self) -> float:
+        """Fraction of dynamic-database lookups served without synthesis."""
+        warm = self.store_hits + self.store_disk_hits
+        return self._rate(warm, warm + self.store_synth)
+
+    @property
     def total_seconds(self) -> float:
         """Sum of all recorded phase times."""
         return sum(self.phase_seconds.values())
@@ -242,6 +263,12 @@ class PassMetrics:
             "sat_restarts": self.sat_restarts,
             "sat_learned": self.sat_learned,
             "sat_backend_events": dict(self.sat_backend_events),
+            "store_hits": self.store_hits,
+            "store_disk_hits": self.store_disk_hits,
+            "store_synth": self.store_synth,
+            "store_evictions": self.store_evictions,
+            "store_improved": self.store_improved,
+            "store_hit_rate": round(self.store_hit_rate, 4),
             "kernel_strash_hits": self.kernel_strash_hits,
             "kernel_unit_rules": self.kernel_unit_rules,
             "sim_words": self.sim_words,
@@ -272,6 +299,11 @@ class PassMetrics:
             "sat_decisions",
             "sat_restarts",
             "sat_learned",
+            "store_hits",
+            "store_disk_hits",
+            "store_synth",
+            "store_evictions",
+            "store_improved",
             "kernel_strash_hits",
             "kernel_unit_rules",
             "sim_words",

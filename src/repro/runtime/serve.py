@@ -220,6 +220,8 @@ class OptimizationService:
         default_time_limit: float | None = None,
         default_verify: str = "sim",
         mem_limit_mb: int | None = None,
+        default_cut_size: int | None = None,
+        npn_store: str | Path | None = None,
         verbose: bool = False,
     ) -> None:
         if num_workers < 0:
@@ -228,6 +230,8 @@ class OptimizationService:
             raise ValueError("queue_limit must be positive")
         if default_verify not in ("off", "sim", "cec"):
             raise ValueError("default_verify must be off/sim/cec")
+        if default_cut_size is not None and default_cut_size not in (4, 5, 6):
+            raise ValueError("default_cut_size must be 4, 5, or 6")
         self.workdir = Path(workdir)
         self.jobs_dir = self.workdir / "jobs"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
@@ -239,6 +243,8 @@ class OptimizationService:
         self.default_time_limit = default_time_limit
         self.default_verify = default_verify
         self.mem_limit_mb = mem_limit_mb
+        self.default_cut_size = default_cut_size
+        self.npn_store = None if npn_store is None else str(npn_store)
         self.verbose = verbose
 
         self._queue: "queue.Queue" = queue.Queue()
@@ -261,6 +267,14 @@ class OptimizationService:
             "rejected": 0,
             "recovered": 0,
             "adopted": 0,
+        }
+        #: NPN-store tier counters aggregated from completed job metrics
+        #: (the store itself lives in the worker subprocesses)
+        self.store_counters = {
+            "store_hits": 0,
+            "store_disk_hits": 0,
+            "store_synth": 0,
+            "store_evictions": 0,
         }
         self._threads: list[threading.Thread] = []
 
@@ -502,6 +516,11 @@ class OptimizationService:
             time_limit = deadline if time_limit is None else min(time_limit, deadline)
         if time_limit is None:
             time_limit = self.default_time_limit
+        cut_size = _opt_number(request, "cut_size", int)
+        if cut_size is None:
+            cut_size = self.default_cut_size
+        if cut_size is not None and cut_size not in (4, 5, 6):
+            raise BadRequest("'cut_size' must be 4, 5, or 6")
         return {
             "script": script,
             "mode": mode,
@@ -511,6 +530,13 @@ class OptimizationService:
             "time_limit": time_limit,
             "conflict_limit": _opt_number(request, "conflict_limit", int, minimum=1),
             "cut_limit": _opt_number(request, "cut_limit", int, minimum=2),
+            "cut_size": cut_size,
+            # The store is daemon configuration, never client input: a
+            # request must not be able to point workers at arbitrary
+            # filesystem paths.
+            "npn_store": (
+                self.npn_store if cut_size is not None and cut_size > 4 else None
+            ),
             "mem_limit_mb": self.mem_limit_mb,
         }
 
@@ -624,6 +650,7 @@ class OptimizationService:
         self, job: ServeJob, summary: dict, recovered: bool = False
     ) -> None:
         result = self._result_payload(job, summary)
+        metrics = result.get("metrics") or {}
         with self._lock:
             job.state = "done"
             job.result = result
@@ -634,6 +661,11 @@ class OptimizationService:
             self.counters["completed"] += 1
             if recovered:
                 self.counters["adopted"] += 1
+            for key in self.store_counters:
+                try:
+                    self.store_counters[key] += int(metrics.get(key, 0) or 0)
+                except (TypeError, ValueError):
+                    pass
             self._idle.notify_all()
         if job.spec.verify != "off" and self._fully_optimized(result):
             if self.cache.get(job.key) is None:
@@ -719,6 +751,8 @@ class OptimizationService:
             jobs = dict(self.counters)
             jobs["queued"] = self._queued
             jobs["running"] = self._running
+            store = dict(self.store_counters)
+        store["path"] = self.npn_store
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "draining": self.draining.is_set(),
@@ -726,6 +760,7 @@ class OptimizationService:
             "workers": self.num_workers,
             "jobs": jobs,
             "cache": self.cache.stats(),
+            "npn_store": store,
         }
 
     # -- drain ------------------------------------------------------------
@@ -887,6 +922,8 @@ def run_server(
     default_time_limit: float | None = None,
     default_verify: str = "sim",
     mem_limit_mb: int | None = None,
+    default_cut_size: int | None = None,
+    npn_store: str | Path | None = None,
     drain_grace: float = 30.0,
     verbose: bool = False,
 ) -> int:
@@ -907,6 +944,8 @@ def run_server(
         default_time_limit=default_time_limit,
         default_verify=default_verify,
         mem_limit_mb=mem_limit_mb,
+        default_cut_size=default_cut_size,
+        npn_store=npn_store,
         verbose=verbose,
     )
     daemon = ServeDaemon(service, host, port, verbose=verbose)

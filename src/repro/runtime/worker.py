@@ -221,7 +221,17 @@ def run_job(spec: JobSpec) -> dict:
     needs_db = spec.mode == "converge" or any(
         step.strip().upper() in _variant_names() for step in spec.script
     )
-    db = NpnDatabase.load(spec.db) if needs_db else None
+    db = store = None
+    if needs_db:
+        if spec.cut_size is not None and spec.cut_size != 4:
+            # Large-cut tier: a lazily populated dynamic database, backed
+            # by the shared persistent store when the spec names one.
+            from ..rewriting.dynamic_db import DynamicDatabase
+
+            db = DynamicDatabase(num_vars=spec.cut_size, store=spec.npn_store)
+            store = db.store
+        else:
+            db = NpnDatabase.load(spec.db)
 
     budget = None
     if spec.time_limit is not None or spec.conflict_limit is not None:
@@ -242,6 +252,7 @@ def run_job(spec: JobSpec) -> dict:
             on_error="rollback",
             metrics=metrics,
             cut_limit=spec.cut_limit,
+            cut_size=spec.cut_size,
             sat_backend=spec.sat_backend,
         )
         steps_payload.append({"step": spec.variant, "status": "ok", "passes": passes})
@@ -280,6 +291,7 @@ def run_job(spec: JobSpec) -> dict:
             verify=spec.verify,
             on_error="rollback",
             cut_limit=spec.cut_limit,
+            cut_size=spec.cut_size,
             on_step=on_step,
             sat_backend=spec.sat_backend,
         )
@@ -313,7 +325,7 @@ def run_job(spec: JobSpec) -> dict:
         Path(spec.output).parent.mkdir(parents=True, exist_ok=True)
         atomic_write_text(spec.output, buf.getvalue())
 
-    return {
+    payload = {
         "job_id": spec.job_id,
         "status": "ok",
         "size_before": mig.num_gates,
@@ -328,6 +340,10 @@ def run_job(spec: JobSpec) -> dict:
         "rusage": _rusage_dict(),
         "pid": os.getpid(),
     }
+    if store is not None:
+        payload["npn_store"] = store.stats()
+        store.close()
+    return payload
 
 
 def _variant_names() -> tuple[str, ...]:

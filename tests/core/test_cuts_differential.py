@@ -27,7 +27,7 @@ from repro.aig.cuts import aig_cut_function, enumerate_aig_cuts
 from repro.core.cuts import enumerate_cut_set, enumerate_cuts
 from repro.core.mig import Mig
 from repro.core.simengine import cone_function
-from repro.core.truth_table import tt_mask
+from repro.core.truth_table import tt_extend, tt_mask
 
 # ---------------------------------------------------------------------------
 # frozen pre-refactor MIG enumerator
@@ -291,3 +291,55 @@ class TestCutFunctions:
         for node in mig.gates():
             for leaves in cs[node]:
                 assert cs.function(node, leaves) == cone_function(mig, node, leaves)
+
+
+class TestWideCutFunctions:
+    """k=5/6 cuts through every evaluation path — lazy scalar, compiled
+    batch, slot tables, and the deduplicated batch_tt4s sweep — all
+    against cone simulation.  This is the arithmetic the large-cut
+    rewriters stand on."""
+
+    @given(random_mig(), st.integers(min_value=5, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_wide_scalar_functions_match_cone_simulation(self, mig, k):
+        cs = enumerate_cut_set(mig, k=k, cut_limit=8)
+        for node in mig.gates():
+            for leaves in cs[node]:
+                assert cs.function(node, leaves) == cone_function(mig, node, leaves)
+
+    @given(random_mig(), st.integers(min_value=5, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_compiled_batch_matches_scalar(self, mig, k):
+        lazy = enumerate_cut_set(mig, k=k, cut_limit=8)
+        compiled = enumerate_cut_set(
+            mig, k=k, cut_limit=8, compile_functions=True
+        )
+        computed = compiled.compute_functions()
+        assert computed is not None  # wide cuts must not bail to scalar
+        tables = compiled.slot_tables(k)
+        assert tables is not None
+        for node in mig.gates():
+            for entry in compiled.entries[node]:
+                leaves, slot = entry[0], entry[3]
+                expected = lazy.function(node, leaves)
+                assert compiled.function(node, leaves) == expected
+                assert tables[slot] == tt_extend(expected, len(leaves), k)
+
+    @given(random_mig(), st.integers(min_value=5, max_value=6))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_tt4s_equals_scalar_collection(self, mig, k):
+        compiled = enumerate_cut_set(
+            mig, k=k, cut_limit=8, compile_functions=True
+        )
+        assert compiled.compute_functions() is not None
+        got = [int(v) for v in compiled.batch_tt4s(k)]
+        expected = set()
+        scalar = enumerate_cut_set(mig, k=k, cut_limit=8)
+        for node in mig.gates():
+            for leaves in scalar[node]:
+                if leaves == (node,):
+                    continue
+                expected.add(
+                    tt_extend(scalar.function(node, leaves), len(leaves), k)
+                )
+        assert got == sorted(expected)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -157,3 +159,28 @@ class TestBatchCanonize:
             npn_canonize_batch([0x10000], 4)
         with pytest.raises(ValueError):
             npn_canonize_batch([[1, 2]], 4)
+
+    def test_matches_scalar_n5(self):
+        rng = random.Random(61)
+        fs = [rng.getrandbits(32) for _ in range(24)]
+        fs += [0, 0xFFFFFFFF, 0x80000000, 0x1, 0xAAAAAAAA, 0x96696996]
+        batch = npn_canonize_batch(fs, 5)
+        for f, (rep, t) in zip(fs, batch):
+            assert (rep, t) == npn_canonize(f, 5)
+            assert apply_transform(rep, t, 5) == f
+
+    def test_matches_scalar_n6(self):
+        # The scalar 6-var canonizer walks all 46080 transforms per call
+        # (~0.2 s each), so this differential stays deliberately tiny.
+        rng = random.Random(67)
+        fs = [rng.getrandbits(64) for _ in range(4)] + [0, (1 << 64) - 1]
+        batch = npn_canonize_batch(fs, 6)
+        for f, (rep, t) in zip(fs, batch):
+            assert (rep, t) == npn_canonize(f, 6)
+            assert apply_transform(rep, t, 6) == f
+
+    def test_chunking_is_invisible_n5(self):
+        # The wide-arity path sizes its transform blocks from the chunk
+        # width; an odd chunk must not change a single result.
+        fs = [((2654435761 * i) ^ (i << 19)) & 0xFFFFFFFF for i in range(90)]
+        assert npn_canonize_batch(fs, 5, chunk=7) == npn_canonize_batch(fs, 5)

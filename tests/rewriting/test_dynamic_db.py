@@ -58,6 +58,162 @@ class TestDynamicLookup:
         assert improved.size_of(f) <= plain.size_of(f)
 
 
+class TestProvenFlags:
+    """Regression tests for ``_synthesize_entry``'s proven semantics."""
+
+    def test_projection_is_proven_at_zero_gates(self):
+        db5 = DynamicDatabase(num_vars=5)
+        entry, _ = db5.lookup(0xAAAAAAAA)  # x0
+        assert entry.size == 0 and entry.proven
+
+    def test_single_gate_is_proven_by_construction(self):
+        db5 = DynamicDatabase(num_vars=5)
+        entry, _ = db5.lookup(0x88888888)  # x0 AND x1 == maj(x0, x1, 0)
+        assert entry.size == 1 and entry.proven
+
+    def test_no_budget_ships_multi_gate_entries_unproven(self):
+        db5 = DynamicDatabase(num_vars=5)
+        entry, _ = db5.lookup(0x96969696)  # xor3: no 1-gate MIG
+        assert entry.size >= 2 and not entry.proven
+
+    def test_budget_proves_or_stays_unproven_never_regresses(self):
+        plain = DynamicDatabase(num_vars=5)
+        improved = DynamicDatabase(num_vars=5, improve_budget=20000)
+        for tt in (0x96969696, 0xE8E8E8E8, 0xCACACACA):
+            upper, _ = plain.lookup(tt)
+            entry, _ = improved.lookup(tt)
+            assert entry.size <= upper.size
+            assert entry.to_mig().simulate()[0] == entry.rep
+            if entry.size == upper.size:
+                # All smaller sizes refuted (proven) or budget ran dry
+                # (unproven) — either way the witness is the upper bound.
+                assert isinstance(entry.proven, bool)
+
+    def test_xor3_with_budget_is_proven_minimal(self):
+        # XOR3 needs 3 MIG gates; refuting sizes 1-2 is a cheap UNSAT,
+        # so a modest budget must end with a *proven* size-3 entry.
+        db5 = DynamicDatabase(num_vars=5, improve_budget=50000)
+        entry, _ = db5.lookup(0x96969696)
+        assert entry.size == 3 and entry.proven
+
+
+class TestBatchedLookup:
+    def test_lookup_batch_synthesizes_on_miss(self):
+        """The batched pipeline must populate a fresh dynamic database
+        (the inert base-class ``lookup_batch`` maps misses to None)."""
+        db5 = DynamicDatabase(num_vars=5)
+        rng = random.Random(17)
+        tts = [rng.getrandbits(32) for _ in range(8)]
+        table = db5.lookup_batch(tts)
+        assert db5.misses > 0
+        for tt in tts:
+            entry, transform = table[tt]
+            assert entry is not None
+            # lookup_in never raises for an in-table function.
+            got, _ = db5.lookup_in(tt, table)
+            assert got is entry
+
+    def test_batch_matches_scalar_resolution(self):
+        rng = random.Random(23)
+        tts = [rng.getrandbits(32) for _ in range(12)]
+        scalar = DynamicDatabase(num_vars=5)
+        batched = DynamicDatabase(num_vars=5)
+        table = batched.lookup_batch(tts)
+        for tt in tts:
+            entry_s, transform_s = scalar.lookup(tt)
+            entry_b, transform_b = table[tt]
+            assert transform_s == transform_b
+            assert entry_s.rep == entry_b.rep
+            assert entry_s.size == entry_b.size
+
+
+class TestMetricsDrain:
+    def test_drain_folds_and_zeroes(self):
+        from repro.runtime.metrics import PassMetrics
+
+        db5 = DynamicDatabase(num_vars=5, max_entries=4)
+        rng = random.Random(5)
+        for _ in range(10):
+            db5.size_of(rng.getrandbits(32))
+        synth, evicted = db5.misses, db5.evictions
+        assert synth > 0 and evicted > 0
+        metrics = PassMetrics()
+        db5.drain_metrics(metrics)
+        assert metrics.store_synth == synth
+        assert metrics.store_evictions == evicted
+        assert db5.misses == db5.hits == db5.store_hits == db5.evictions == 0
+        # Draining twice must not double-count.
+        db5.drain_metrics(metrics)
+        assert metrics.store_synth == synth
+        payload = metrics.to_dict()
+        assert payload["store_synth"] == synth
+        assert "store_hit_rate" in payload
+
+
+class TestPersistentTier:
+    def test_warm_reopen_hits_disk_not_synthesis(self, tmp_path):
+        from repro.database.store import NpnStore
+
+        path = tmp_path / "tier.npn5"
+        rng = random.Random(41)
+        tts = [rng.getrandbits(32) for _ in range(6)]
+        cold = DynamicDatabase(num_vars=5, store=NpnStore.open(path, 5))
+        sizes = {tt: cold.size_of(tt) for tt in tts}
+        assert cold.misses > 0
+        cold.store.close()
+        warm = DynamicDatabase(num_vars=5, store=NpnStore.open(path, 5))
+        for tt in tts:
+            assert warm.size_of(tt) == sizes[tt]
+        assert warm.misses == 0 and warm.store_hits > 0
+
+    def test_store_arity_mismatch_rejected(self, tmp_path):
+        from repro.database.store import NpnStore
+
+        store = NpnStore.open(tmp_path / "s.npn5", num_vars=5)
+        with pytest.raises(ValueError):
+            DynamicDatabase(num_vars=6, store=store)
+
+    def test_store_accepts_path_argument(self, tmp_path):
+        db5 = DynamicDatabase(num_vars=5, store=tmp_path / "p.npn5")
+        db5.size_of(0x96969696)
+        assert len(db5.store) > 0
+
+
+class TestLookupProperty:
+    """Property drill: for random 5-input functions, the returned entry
+    rebuilds to the exact function under the returned transform — under
+    LRU eviction pressure, so the store/synthesis tiers churn."""
+
+    def test_lookup_correct_under_eviction_pressure(self, tmp_path):
+        hypothesis = pytest.importorskip("hypothesis")
+        given, settings, st = (
+            hypothesis.given, hypothesis.settings, hypothesis.strategies,
+        )
+        from repro.core.npn import npn_canonize
+        from repro.database.store import NpnStore
+
+        store = NpnStore.open(tmp_path / "prop.npn5", num_vars=5)
+        db5 = DynamicDatabase(num_vars=5, max_entries=4, store=store)
+
+        @given(st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=8))
+        @settings(max_examples=50, deadline=None)
+        def drill(tts):
+            for tt in tts:
+                entry, transform = db5.lookup(tt)
+                rep, expected = npn_canonize(tt, 5)
+                assert entry.rep == rep
+                assert transform == expected
+                # The entry's MIG computes the class representative...
+                assert entry.to_mig().simulate()[0] == rep
+                # ...and rebuilding through the transform yields tt.
+                mig = Mig(5)
+                mig.add_po(db5.rebuild(mig, tt, mig.pi_signals()))
+                assert mig.simulate()[0] == tt
+            assert len(db5._lru) <= 4
+
+        drill()
+
+
 class TestFiveInputRewriting:
     def test_rewrites_with_5_cuts(self):
         db5 = DynamicDatabase(num_vars=5)
@@ -72,3 +228,40 @@ class TestFiveInputRewriting:
         out = functional_hashing(mig, db5, "BF", cut_size=5)
         assert check_equivalence(mig, out)
         assert out.num_gates <= mig.num_gates
+
+    def test_six_input_rewriting(self):
+        db6 = DynamicDatabase(num_vars=6)
+        mig = epfl.sine(6)
+        out = functional_hashing(mig, db6, "BF", cut_size=6)
+        assert check_equivalence(mig, out)
+        assert out.num_gates <= mig.num_gates
+
+    def test_batch_and_scalar_pick_identical_rewrites(self):
+        mig = epfl.sine(6)
+        out_batch = functional_hashing(
+            mig, DynamicDatabase(num_vars=5), "BF", cut_size=5, batch="full"
+        )
+        out_scalar = functional_hashing(
+            mig, DynamicDatabase(num_vars=5), "BF", cut_size=5, batch=False
+        )
+        assert out_batch.num_gates == out_scalar.num_gates
+        assert check_equivalence(out_batch, out_scalar)
+
+    def test_cut_size_above_db_arity_rejected(self):
+        db5 = DynamicDatabase(num_vars=5)
+        with pytest.raises(ValueError):
+            functional_hashing(epfl.adder(4), db5, "BF", cut_size=6)
+
+    def test_store_backed_rewrite_round_trip(self, tmp_path):
+        from repro.database.store import NpnStore
+
+        mig = epfl.sine(6)
+        path = tmp_path / "rw.npn5"
+        db_cold = DynamicDatabase(num_vars=5, store=NpnStore.open(path, 5))
+        cold = functional_hashing(mig, db_cold, "BF", cut_size=5)
+        db_cold.store.close()
+        db_warm = DynamicDatabase(num_vars=5, store=NpnStore.open(path, 5))
+        warm = functional_hashing(mig, db_warm, "BF", cut_size=5)
+        assert warm.num_gates == cold.num_gates
+        assert check_equivalence(cold, warm)
+        assert db_warm.misses == 0  # every class came from the disk tier

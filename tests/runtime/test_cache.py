@@ -60,6 +60,23 @@ class TestRequestKey:
             "ab" * 32, _spec(**change)
         )
 
+    def test_default_cut_size_keys_like_unset(self):
+        """cut_size=4 is the engine default spelled out — it must not
+        orphan every cache entry written before the field existed."""
+        assert request_key("ab" * 32, _spec()) == request_key(
+            "ab" * 32, _spec(cut_size=4)
+        )
+
+    def test_large_cut_fields_change_the_key(self):
+        base = request_key("ab" * 32, _spec())
+        five = request_key("ab" * 32, _spec(cut_size=5))
+        stored = request_key(
+            "ab" * 32, _spec(cut_size=5, npn_store="/tmp/flows.npn5")
+        )
+        # Larger cuts change the result; a warm store holds tighter
+        # witnesses than a cold one.  Three distinct requests.
+        assert len({base, five, stored}) == 3
+
 
 class TestRoundtrip:
     def test_put_get(self, tmp_path):

@@ -38,6 +38,20 @@ class TestJobSpec:
         spec = JobSpec(job_id="j", network={"blif": "/a.blif"})
         assert JobSpec.from_dict(spec.to_dict()) == spec
 
+    def test_large_cut_fields_roundtrip(self):
+        spec = make_spec(cut_size=5, npn_store="/tmp/flows.npn5")
+        again = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.cut_size == 5 and again.npn_store == "/tmp/flows.npn5"
+
+    def test_pre_large_cut_dicts_still_parse(self):
+        # Dicts journaled before the fields existed must load with both
+        # defaults — replaying an old journal is a supported restart.
+        data = make_spec().to_dict()
+        del data["cut_size"], data["npn_store"]
+        spec = JobSpec.from_dict(data)
+        assert spec.cut_size is None and spec.npn_store is None
+
 
 class TestDegradation:
     def test_first_rung_weakens_verify_and_budgets(self):
@@ -69,6 +83,22 @@ class TestDegradation:
         down, _ = degraded(spec)
         assert down.job_id == spec.job_id
         assert down.network == spec.network
+
+    def test_large_cut_drops_to_the_precomputed_tier(self):
+        # On-demand synthesis is on the hot path at cut_size > 4; a
+        # struggling job retries at the precomputed NPN-4 tier first.
+        spec = make_spec(cut_size=5, npn_store="/tmp/flows.npn5")
+        down, notes = degraded(spec)
+        assert down.cut_size == 4
+        assert "cut_size:5->4" in notes
+        # The rung is sticky: further degradation keeps NPN-4.
+        again, notes2 = degraded(down)
+        assert again.cut_size == 4
+        assert not any(n.startswith("cut_size") for n in notes2)
+
+    def test_default_cut_size_has_no_rung(self):
+        _, notes = degraded(make_spec(cut_size=4))
+        assert not any(n.startswith("cut_size") for n in notes)
 
 
 class TestJournalReplay:

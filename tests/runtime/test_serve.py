@@ -104,6 +104,70 @@ class TestValidation:
         code, _ = idle_service.job_status("no-such-job")
         assert code == 404
 
+    def test_bad_cut_size(self, idle_service):
+        code, payload = idle_service.submit(dict(ADDER4, cut_size=7))
+        assert code == 400 and "cut_size" in payload["detail"]
+
+
+class TestLargeCutConfig:
+    @pytest.fixture
+    def store_service(self, tmp_path):
+        """Daemon configured for large-cut hashing against its own store."""
+        service = OptimizationService(
+            tmp_path / "serve", num_workers=0, queue_limit=4,
+            default_cut_size=5, npn_store=tmp_path / "flows.npn5",
+        )
+        service.start()
+        yield service
+        service.close()
+
+    def _spec_of(self, service, code_payload):
+        code, payload = code_payload
+        assert code == 202
+        return service.jobs[payload["job_id"]].spec
+
+    def test_daemon_default_applies(self, store_service):
+        spec = self._spec_of(store_service, store_service.submit(dict(ADDER4)))
+        assert spec.cut_size == 5
+        assert spec.npn_store == store_service.npn_store
+
+    def test_request_may_opt_back_to_npn4(self, store_service):
+        spec = self._spec_of(
+            store_service, store_service.submit(dict(ADDER4, cut_size=4))
+        )
+        assert spec.cut_size == 4
+        assert spec.npn_store is None  # no store at the precomputed tier
+
+    def test_store_path_is_never_client_input(self, store_service):
+        """A request must not point workers at arbitrary filesystem
+        paths — the store is daemon configuration only."""
+        spec = self._spec_of(
+            store_service,
+            store_service.submit(
+                dict(ADDER4, cut_size=5, npn_store="/etc/passwd")
+            ),
+        )
+        assert spec.npn_store == store_service.npn_store
+
+    def test_cut_size_without_store_is_allowed(self, idle_service):
+        # Plain daemon, client asks for 5-input cuts: the worker builds
+        # a memory-only DynamicDatabase; there is just no persistence.
+        code, payload = idle_service.submit(dict(ADDER4, cut_size=5))
+        assert code == 202
+        spec = idle_service.jobs[payload["job_id"]].spec
+        assert spec.cut_size == 5 and spec.npn_store is None
+
+    def test_stats_exposes_store_section(self, store_service):
+        section = store_service.stats()["npn_store"]
+        assert section["path"] == store_service.npn_store
+        for key in ("store_hits", "store_disk_hits", "store_synth",
+                    "store_evictions"):
+            assert section[key] == 0
+
+    def test_bad_daemon_cut_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            OptimizationService(tmp_path / "s", default_cut_size=3)
+
 
 class TestAdmission:
     def test_queue_full_gives_429(self, idle_service):

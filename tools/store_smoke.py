@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""CI crash drill for the persistent NPN store.
+
+A writer subprocess appends freshly synthesized NPN-5 entries to a store
+and acknowledges each one on stdout only after ``put`` returned (i.e.
+after the record is fsynced).  The parent ``kill -9``s the writer
+mid-loop — several rounds, so the kill lands at different byte offsets —
+and after every kill asserts the store's headline guarantees:
+
+* **no acknowledged entry is ever lost**: every acknowledged class
+  replays with a correct witness (its MIG simulates to the class
+  representative);
+* **only the torn tail is dropped**: ``torn_records <= 1`` and never the
+  quarantine path (``recovered`` stays False);
+* **the log stays appendable**: after recovery the next writer round
+  starts at a clean record boundary, and a final reopen sees zero torn
+  records.
+
+The last act ruins the file wholesale and asserts the quarantine +
+re-synthesis path: the store restarts empty (``recovered`` True, with a
+``.corrupt`` tombstone) and a :class:`DynamicDatabase` on top transparently
+re-populates it with entries of the same sizes.
+
+Exit code 0 means the drill passed.  Usage::
+
+    python tools/store_smoke.py [--keep STOREDIR] [--rounds N]
+
+With ``--keep`` the store (and its final state) is preserved at the
+given directory for inspection; by default a temp dir is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.database.store import NpnStore  # noqa: E402
+from repro.rewriting.dynamic_db import DynamicDatabase  # noqa: E402
+
+ACKS_PER_ROUND = 4
+
+WRITER = """
+import random, sys
+sys.path.insert(0, {src!r})
+from repro.core.npn import npn_canonize
+from repro.database.npn_db import DbEntry
+from repro.database.store import NpnStore
+from repro.exact.heuristic import heuristic_mig
+
+# Synthesize the whole pool up front so the append loop below is tight
+# write+fsync — that is the window the parent's SIGKILL should land in.
+rng = random.Random({seed})
+pool, seen = [], set()
+while len(pool) < 48:
+    rep, _ = npn_canonize(rng.getrandbits(32), 5)
+    if rep not in seen:
+        seen.add(rep)
+        pool.append(DbEntry.from_mig(rep, heuristic_mig(rep, 5), proven=False))
+store = NpnStore.open({path!r}, num_vars=5)
+for entry in pool:
+    if store.put(entry):
+        print(entry.rep, flush=True)   # fsynced: survives any crash from here
+while True:
+    pass  # keep the process alive until the parent kills it
+"""
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def run_writer_round(path: Path, seed: int) -> list[int]:
+    """Launch a writer, SIGKILL it after ACKS_PER_ROUND acks, return acks."""
+    proc = subprocess.Popen(
+        [sys.executable, "-c", WRITER.format(src=str(SRC), seed=seed, path=str(path))],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    acked: list[int] = []
+    deadline = time.monotonic() + 120
+    while len(acked) < ACKS_PER_ROUND:
+        if time.monotonic() > deadline:
+            proc.kill()
+            fail("writer produced no acknowledgments in 120s")
+        line = proc.stdout.readline()
+        if not line:
+            fail(f"writer exited early (rc={proc.poll()})")
+        acked.append(int(line))
+    # A small randomized delay scatters the kill across the child's
+    # append loop — mid-write (torn tail), mid-fsync (complete but
+    # unacknowledged record), or between records.  All must be survivable.
+    time.sleep(random.uniform(0, 0.01))
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    return acked
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keep", metavar="STOREDIR",
+                        help="preserve the store directory at this path")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="number of kill -9 rounds (default 5)")
+    args = parser.parse_args()
+
+    if args.keep:
+        storedir = Path(args.keep)
+        if storedir.exists():
+            shutil.rmtree(storedir)
+        storedir.mkdir(parents=True)
+    else:
+        storedir = Path(tempfile.mkdtemp(prefix="store-smoke-"))
+    path = storedir / "drill.npn5"
+
+    acknowledged: set[int] = set()
+    torn_total = 0
+    for round_no in range(args.rounds):
+        acked = run_writer_round(path, seed=1000 + round_no)
+        acknowledged.update(acked)
+        store = NpnStore.open(path, num_vars=5)
+        if store.recovered:
+            fail(f"round {round_no}: kill -9 triggered quarantine, not truncation")
+        if store.torn_records > 1:
+            fail(f"round {round_no}: {store.torn_records} torn records (max is 1)")
+        torn_total += store.torn_records
+        missing = acknowledged - set(store.index)
+        if missing:
+            fail(f"round {round_no}: acknowledged classes lost: {sorted(missing)[:4]}")
+        for rep in acked:
+            entry = store.get(rep)
+            if entry.to_mig().simulate()[0] != rep:
+                fail(f"round {round_no}: wrong witness for class {rep:#x}")
+        store.close()  # leaves a clean boundary for the next round
+        print(
+            f"round {round_no}: {len(store.index)} classes on disk, "
+            f"{store.torn_records} torn record dropped"
+        )
+
+    final = NpnStore.open(path, num_vars=5)
+    if final.torn_records or final.recovered:
+        fail("final reopen is not clean after recovered rounds")
+    if acknowledged - set(final.index):
+        fail("final reopen lost acknowledged classes")
+    survivors = len(final.index)
+    final.close()
+    print(f"{args.rounds} kill rounds survived: {survivors} classes, "
+          f"{torn_total} torn tails dropped, 0 quarantines")
+
+    # Act two: wholesale corruption must quarantine and re-synthesize.
+    probe = sorted(acknowledged)[:3]
+    baseline = DynamicDatabase(num_vars=5, store=NpnStore.open(path, 5))
+    sizes = {rep: baseline.size_of(rep) for rep in probe}
+    baseline.store.close()
+    path.write_bytes(b"ruined beyond any tail truncation\n")
+    db = DynamicDatabase(num_vars=5, store=NpnStore.open(path, 5))
+    if not db.store.recovered:
+        fail("wholesale corruption did not trigger quarantine")
+    if not (path.parent / (path.name + ".corrupt")).exists():
+        fail("quarantine left no .corrupt tombstone")
+    for rep in probe:
+        if db.size_of(rep) != sizes[rep]:
+            fail(f"re-synthesis changed the size of class {rep:#x}")
+    if len(db.store) < len(probe):
+        fail("re-synthesized entries were not persisted")
+    db.store.close()
+    print(f"quarantine drill passed: store restarted empty and "
+          f"re-synthesized {len(probe)} classes at identical sizes")
+
+    if not args.keep:
+        shutil.rmtree(storedir, ignore_errors=True)
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
