@@ -156,6 +156,65 @@ def _run_supervised(
         return runs
 
 
+# ---------------------------------------------------------------------------
+# the standing scenario matrix (`migopt sweep` / bench_matrix.py)
+# ---------------------------------------------------------------------------
+
+#: the sweep's instance axis: the 8 EPFL arithmetic instances at their
+#: scaled benchmark widths, the 6 random/control instances, wider 64/128-bit
+#: generator scenarios, and a mapped-then-reoptimized round trip — 18
+#: scenarios per (script × cut × backend) cell.
+STANDING_MATRIX_INSTANCES: tuple[dict, ...] = (
+    # -- arithmetic half, scaled benchmark widths --
+    {"generate": "adder", "width": 32},
+    {"generate": "divisor", "width": 12},
+    {"generate": "log2", "width": 10},
+    {"generate": "max", "width": 24},
+    {"generate": "multiplier", "width": 12},
+    {"generate": "sine", "width": 10},
+    {"generate": "square-root", "width": 10},
+    {"generate": "square", "width": 14},
+    # -- random/control half --
+    {"generate": "arbiter", "width": 16},
+    {"generate": "dec", "width": 5},
+    {"generate": "int2float", "width": 8},
+    {"generate": "priority", "width": 16},
+    {"generate": "router"},
+    {"generate": "voter", "width": 15},
+    # -- 64/128-bit generator widths (linear-depth instances stay cheap) --
+    {"generate": "adder", "width": 64},
+    {"generate": "adder", "width": 128},
+    {"generate": "priority", "width": 128},
+    # -- mapped-then-reoptimized round trip --
+    {
+        "generate": "adder",
+        "width": 32,
+        "scripts": [["BF", "remap", "BF"]],
+    },
+)
+
+
+def standing_sweep_spec(
+    verify: str = "sim", time_limit: float | None = 600.0
+) -> dict:
+    """The standing matrix as a ``migopt sweep`` spec (JSON-ready dict).
+
+    One ``BF`` cell per instance (the paper's best variant), every
+    scenario sim-verified; the round-trip instance overrides its script
+    axis locally.  ``bench_matrix.py`` runs it and appends trend rows to
+    ``benchmarks/results/MATRIX.jsonl``.
+    """
+    return {
+        "name": "standing-matrix",
+        "instances": [dict(inst) for inst in STANDING_MATRIX_INSTANCES],
+        "scripts": [["BF"]],
+        "cut_sizes": [4],
+        "sat_backends": ["internal"],
+        "verify": verify,
+        "time_limit": time_limit,
+    }
+
+
 def _run_in_process(
     db, baselines: dict[str, Mig], variants: tuple[str, ...]
 ) -> list[BenchmarkRun]:

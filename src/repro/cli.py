@@ -20,6 +20,7 @@ from .core.mig import Mig
 from .core.simulate import check_equivalence
 from .database import NpnDatabase
 from .exact.synthesis import synthesize_exact
+from .generators import CONTROL_SPECS, GENERATORS, resolve_generator
 from .generators.epfl import SUITE_SPECS
 from .io.bench import read_bench, write_bench
 from .io.blif import read_blif, write_blif
@@ -33,15 +34,10 @@ __all__ = ["main"]
 
 def _load_network(args: argparse.Namespace) -> Mig:
     if args.generate is not None:
-        if args.generate not in SUITE_SPECS:
-            raise SystemExit(
-                f"unknown generator {args.generate!r}; choose from {sorted(SUITE_SPECS)}"
-            )
-        _, generator, full_kwargs, scaled_kwargs = SUITE_SPECS[args.generate]
-        kwargs = dict(scaled_kwargs)
-        if args.width is not None:
-            kwargs = {"width": args.width}
-        return generator(**kwargs)
+        try:
+            return resolve_generator(args.generate, width=args.width)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     if args.blif is not None:
         with open(args.blif, "r", encoding="utf-8") as fp:
             return read_blif(fp)
@@ -74,7 +70,7 @@ def _dump_metrics(path: str, payload: dict) -> None:
 
 
 def _add_input_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--generate", help=f"built-in generator: {sorted(SUITE_SPECS)}")
+    parser.add_argument("--generate", help=f"built-in generator: {sorted(GENERATORS)}")
     parser.add_argument("--width", type=int, help="generator bit-width override")
     parser.add_argument("--blif", help="read the circuit from a BLIF file")
     parser.add_argument("--bench", help="read the circuit from an ISCAS .bench file")
@@ -133,15 +129,18 @@ def _batch_specs(args: argparse.Namespace) -> list:
     script = tuple(step for step in args.script.split(",") if step)
     networks: list[tuple[str, dict]] = []
     if args.generate:
-        names = (
-            sorted(SUITE_SPECS)
-            if args.generate == "suite"
-            else [n for n in args.generate.split(",") if n]
-        )
+        if args.generate == "suite":
+            names = sorted(SUITE_SPECS)
+        elif args.generate == "control":
+            names = sorted(CONTROL_SPECS)
+        elif args.generate == "all":
+            names = sorted(GENERATORS)
+        else:
+            names = [n for n in args.generate.split(",") if n]
         for name in names:
-            if name not in SUITE_SPECS:
+            if name not in GENERATORS:
                 raise SystemExit(
-                    f"unknown generator {name!r}; choose from {sorted(SUITE_SPECS)}"
+                    f"unknown generator {name!r}; choose from {sorted(GENERATORS)}"
                 )
             network = {"generate": name}
             if args.width is not None:
@@ -152,6 +151,13 @@ def _batch_specs(args: argparse.Namespace) -> list:
         networks.append((Path(path).stem, {"blif": str(Path(path).resolve())}))
     for path in args.bench:
         networks.append((Path(path).stem, {"bench": str(Path(path).resolve())}))
+    if getattr(args, "shard", False):
+        if networks:
+            raise SystemExit(
+                "--shard takes its job list from the pre-submitted journal; "
+                "drop --generate/--blif/--bench"
+            )
+        return []
     if not networks and not args.resume:
         raise SystemExit(
             "specify circuits with --generate NAMES, --blif FILE, or "
@@ -231,7 +237,9 @@ def _run_batch_command(args: argparse.Namespace) -> int:
         except (ValueError, OSError):
             pass
     try:
-        report = supervisor.run(specs, resume=args.resume)
+        report = supervisor.run(
+            specs, resume=args.resume or getattr(args, "shard", False)
+        )
     except FileExistsError as exc:
         raise SystemExit(str(exc))
     finally:
@@ -262,6 +270,98 @@ def _run_batch_command(args: argparse.Namespace) -> int:
     if report.interrupted:
         print(f"interrupted: resume with "
               f"migopt batch --workdir {args.workdir} --resume")
+        return 130
+    return 0 if report.quarantined == 0 and report.done == report.total else 1
+
+
+def _run_sweep_command(args: argparse.Namespace) -> int:
+    import json
+    import signal
+
+    from .runtime.executors import parse_hosts
+    from .runtime.sweep import SweepConflictError, SweepSpec, run_sweep
+
+    spec = None
+    if args.spec:
+        if args.spec == "-":
+            data = json.load(sys.stdin)
+        else:
+            with open(args.spec, "r", encoding="utf-8") as fp:
+                data = json.load(fp)
+        try:
+            spec = SweepSpec.from_dict(data)
+        except ValueError as exc:
+            raise SystemExit(f"bad sweep spec: {exc}")
+    elif not args.resume:
+        raise SystemExit("specify a sweep with --spec FILE (or --resume an "
+                         "existing sweep workdir)")
+
+    shutdown = {"requested": False}
+
+    def _drain_signal(signum, frame):  # noqa: ARG001 - signal API
+        if shutdown["requested"]:
+            raise KeyboardInterrupt
+        print(f"\nsweep: caught {signal.Signals(signum).name}, draining "
+              "shards (signal again to abort hard)...", flush=True)
+        shutdown["requested"] = True
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _drain_signal)
+        except (ValueError, OSError):
+            pass
+    try:
+        run = run_sweep(
+            args.workdir,
+            spec=spec,
+            hosts=parse_hosts(default_shards=args.shards),
+            shards=args.shards,
+            jobs_per_shard=args.jobs_per_shard,
+            resume=args.resume,
+            grace=args.grace,
+            max_attempts=args.max_attempts,
+            backoff_base=args.backoff,
+            shard_attempts=args.shard_attempts,
+            matrix_path=args.matrix,
+            shutdown_check=lambda: shutdown["requested"],
+            verbose=True,
+        )
+    except (FileExistsError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    except SweepConflictError as exc:
+        raise SystemExit(f"sweep merge conflict: {exc}")
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+
+    report = run.report
+    print(
+        f"sweep: {report.done}/{report.total} done, "
+        f"{report.quarantined} quarantined, {report.adopted} adopted, "
+        f"{len(report.shards)} shards"
+        + (" [interrupted]" if report.interrupted else "")
+    )
+    for name in sorted(report.shards):
+        shard = report.shards[name]
+        print(f"  shard {name:12} {shard['done']}/{shard['total']} done, "
+              f"{shard['quarantined']} quarantined, "
+              f"{shard['adopted']} adopted")
+    for summary in report.jobs:
+        if summary["state"] != "done":
+            print(f"  {summary['job_id']:40} {summary['state']}"
+                  + (f"  ({summary.get('error', 'unknown error')})"
+                     if summary["state"] == "quarantined" else ""))
+    if run.matrix_path is not None:
+        print(f"matrix: {run.published_rows} trend rows -> {run.matrix_path}")
+    if args.report:
+        _dump_metrics(args.report, report.to_dict())
+    if report.interrupted:
+        print(f"interrupted: resume with "
+              f"migopt sweep --workdir {args.workdir} --resume")
         return 130
     return 0 if report.quarantined == 0 and report.done == report.total else 1
 
@@ -363,8 +463,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_batch.add_argument(
         "--generate", metavar="NAMES",
-        help="comma-separated generator names, or 'suite' for all 8 "
-        f"arithmetic instances: {sorted(SUITE_SPECS)}",
+        help="comma-separated generator names, 'suite' (8 arithmetic), "
+        f"'control' (6 random/control), or 'all': {sorted(GENERATORS)}",
     )
     p_batch.add_argument("--width", type=int, help="generator bit-width override")
     p_batch.add_argument(
@@ -412,6 +512,12 @@ def main(argv: list[str] | None = None) -> int:
         "jobs are kept, orphaned running jobs are re-queued",
     )
     p_batch.add_argument(
+        "--shard", action="store_true",
+        help="run as one shard of a sweep: take the job list from the "
+        "journal that `migopt sweep` pre-submitted into --workdir "
+        "(implies --resume)",
+    )
+    p_batch.add_argument(
         "--grace", type=float, default=2.0, metavar="SECONDS",
         help="SIGTERM-to-SIGKILL escalation window (default: 2.0)",
     )
@@ -431,6 +537,64 @@ def main(argv: list[str] | None = None) -> int:
     p_batch.add_argument(
         "--report", metavar="PATH",
         help="also dump the batch report JSON to PATH ('-' for stdout)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="sharded multi-host sweep over a declarative scenario matrix "
+        "(instances x scripts x cut sizes x SAT backends x budgets); "
+        "shards via $REPRO_SWEEP_HOSTS, resumes exactly-once",
+    )
+    p_sweep.add_argument(
+        "--workdir", required=True, metavar="DIR",
+        help="sweep state directory (sweep.json, shard-<host>/ batch "
+        "workdirs, merged report.json)",
+    )
+    p_sweep.add_argument(
+        "--spec", metavar="FILE",
+        help="sweep spec JSON ('-' for stdin): {name, instances, scripts, "
+        "cut_sizes, sat_backends, conflict_limits, verify, time_limit}; "
+        "instances may override any axis locally",
+    )
+    p_sweep.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="number of local pseudo-host shards when $REPRO_SWEEP_HOSTS "
+        "is unset (default: 2)",
+    )
+    p_sweep.add_argument(
+        "--jobs-per-shard", type=int, default=1, metavar="N",
+        help="worker processes inside each shard's batch (default: 1)",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep: the persisted assignment in "
+        "sweep.json is reused and every shard resumes from its journal",
+    )
+    p_sweep.add_argument(
+        "--grace", type=float, default=2.0, metavar="SECONDS",
+        help="SIGTERM-to-SIGKILL window for shard workers (default: 2.0)",
+    )
+    p_sweep.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per job inside each shard before quarantine",
+    )
+    p_sweep.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base per-job retry backoff inside shards (default: 0.5)",
+    )
+    p_sweep.add_argument(
+        "--shard-attempts", type=int, default=3, metavar="N",
+        help="relaunches per shard process before the sweep gives up on "
+        "its remaining jobs (default: 3)",
+    )
+    p_sweep.add_argument(
+        "--matrix", metavar="PATH",
+        help="append per-scenario trend rows to this JSONL file on a "
+        "clean finish (e.g. benchmarks/results/MATRIX.jsonl)",
+    )
+    p_sweep.add_argument(
+        "--report", metavar="PATH",
+        help="also dump the merged report JSON to PATH ('-' for stdout)",
     )
 
     p_serve = sub.add_parser(
@@ -673,6 +837,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "batch":
         return _run_batch_command(args)
+    if args.command == "sweep":
+        return _run_sweep_command(args)
 
     if args.command == "serve":
         return _run_serve_command(args)

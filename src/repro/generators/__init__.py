@@ -1,4 +1,11 @@
-"""Benchmark circuit generators (EPFL arithmetic suite equivalents)."""
+"""Benchmark circuit generators (EPFL suite equivalents).
+
+Two halves mirror the EPFL benchmark suite: the 8 arithmetic instances
+the paper evaluates on (:data:`SUITE_SPECS`) and the random/control half
+(:data:`CONTROL_SPECS`).  :data:`GENERATORS` is the merged registry the
+runtime layers (worker, CLI, serve, sweeps) resolve ``generate`` names
+against.
+"""
 
 from .words import WordBuilder
 from .random_layered import layered_mig
@@ -14,18 +21,70 @@ from .epfl import (
     square,
     square_root,
 )
+from .epfl_control import (
+    CONTROL_SPECS,
+    arbiter,
+    control_suite,
+    dec,
+    int2float,
+    priority,
+    router,
+    voter,
+)
+
+#: every generator the runtime can resolve by name; the two halves are
+#: disjoint, so a plain merge cannot shadow anything.
+GENERATORS = {**SUITE_SPECS, **CONTROL_SPECS}
+
+
+def resolve_generator(name: str, width: int | None = None, full_size: bool = False):
+    """Resolve a registry *name* to a generated MIG.
+
+    The one place worker, CLI, serve, and sweeps all turn a ``generate``
+    network spec into a circuit.  *width* scales the instance's single
+    size parameter (``width`` for the datapath generators, ``count`` for
+    the voter); generators without one (the router's rows×cols) reject
+    an override instead of misapplying it.
+    """
+    if name not in GENERATORS:
+        raise ValueError(
+            f"unknown generator {name!r}; choose from {sorted(GENERATORS)}"
+        )
+    _, generator, full_kwargs, scaled_kwargs = GENERATORS[name]
+    kwargs = dict(full_kwargs if full_size else scaled_kwargs)
+    if width is not None:
+        if "width" in kwargs:
+            kwargs = {"width": int(width)}
+        elif "count" in kwargs:
+            kwargs = {"count": int(width)}
+        else:
+            raise ValueError(
+                f"generator {name!r} takes no width override "
+                f"(its parameters are {sorted(kwargs)})"
+            )
+    return generator(**kwargs)
 
 __all__ = [
     "WordBuilder",
     "layered_mig",
     "SUITE_SPECS",
+    "CONTROL_SPECS",
+    "GENERATORS",
+    "resolve_generator",
     "arithmetic_suite",
+    "control_suite",
     "adder",
+    "arbiter",
+    "dec",
     "divisor",
+    "int2float",
     "log2",
     "max4",
     "multiplier",
+    "priority",
+    "router",
     "sine",
     "square",
     "square_root",
+    "voter",
 ]

@@ -1,0 +1,266 @@
+"""Structural regeneration of the EPFL random/control benchmark half.
+
+The paper's evaluation centers on the 8 arithmetic EPFL instances
+(:mod:`repro.generators.epfl`), but the suite's other half — the
+random/control circuits — stresses a different optimization profile:
+priority chains, one-hot decode trees, allocation matrices and wide
+voting majorities instead of carry and partial-product arithmetic.
+As with the arithmetic half, the original files are not redistributable
+here, so each instance is regenerated with the same I/O signature and
+the same kind of internal structure.
+
+========== ========= ============================= =====================
+Instance   Paper I/O Generator                     Default params
+========== ========= ============================= =====================
+Arbiter    256/129   :func:`arbiter`               width=128
+Dec        8/256     :func:`dec`                   width=8
+Int2float  11/7      :func:`int2float`             width=11
+Priority   128/8     :func:`priority`              width=128
+Router     60/30     :func:`router`                rows=6, cols=5
+Voter      1001/1    :func:`voter`                 count=1001
+========== ========= ============================= =====================
+"""
+
+from __future__ import annotations
+
+from ..core.mig import CONST0, Mig, signal_not
+from .words import WordBuilder
+
+__all__ = [
+    "arbiter",
+    "dec",
+    "int2float",
+    "priority",
+    "router",
+    "voter",
+    "control_suite",
+    "CONTROL_SPECS",
+]
+
+
+def _priority_scan(mig: Mig, bits: list[int]) -> tuple[list[int], int]:
+    """First-set-bit scan (index 0 = highest priority).
+
+    Returns the one-hot grant word and the any-bit-set flag — the fixed
+    priority chain at the heart of every circuit in this half.
+    """
+    seen = CONST0
+    grants = []
+    for bit in bits:
+        grants.append(mig.and_(bit, signal_not(seen)))
+        seen = mig.or_(seen, bit)
+    return grants, seen
+
+
+def arbiter(width: int = 128) -> Mig:
+    """Rotating-priority bus arbiter: ``2 * width`` inputs, ``width + 1`` outputs.
+
+    ``r[i]`` are request lines and ``m[i]`` the rotating-priority mask
+    (1 = eligible this round).  Masked requests win by fixed priority;
+    when no eligible request exists the arbiter falls through to an
+    unmasked scan, so exactly one grant fires whenever any request is up.
+    """
+    mig = Mig(name=f"arbiter{width}")
+    words = WordBuilder(mig)
+    req = words.input_word(width, "r")
+    mask = words.input_word(width, "m")
+    masked = words.and_word(req, mask)
+    grant_masked, any_masked = _priority_scan(mig, masked)
+    grant_raw, any_req = _priority_scan(mig, req)
+    for i in range(width):
+        grant = mig.ite(any_masked, grant_masked[i], grant_raw[i])
+        mig.add_po(grant, f"g[{i}]")
+    mig.add_po(any_req, "valid")
+    return mig
+
+
+def dec(width: int = 8) -> Mig:
+    """One-hot decoder: *width* inputs, ``2 ** width`` outputs.
+
+    Built as the classic split-halves tree (decode each address half,
+    AND the partial minterms) so interior product terms are shared.
+    """
+    mig = Mig(name=f"dec{width}")
+    words = WordBuilder(mig)
+    addr = words.input_word(width, "a")
+
+    def decode(bits: list[int]) -> list[int]:
+        if len(bits) == 1:
+            return [signal_not(bits[0]), bits[0]]
+        half = len(bits) // 2
+        low = decode(bits[:half])
+        high = decode(bits[half:])
+        return [mig.and_(h, l) for h in high for l in low]
+
+    for value, minterm in enumerate(decode(addr)):
+        mig.add_po(minterm, f"d[{value}]")
+    return mig
+
+
+def int2float(width: int = 11, exp_bits: int = 3, man_bits: int = 3) -> Mig:
+    """Signed integer to tiny float: *width* inputs, ``1 + exp_bits + man_bits`` outputs.
+
+    The input is a two's-complement integer.  The output packs sign,
+    a saturating exponent (the magnitude's leading-one position, clamped
+    to ``2**exp_bits - 1``) and the *man_bits* magnitude bits right
+    below the leading one — leading-one detection feeding a barrel
+    extract, the structure that gives EPFL's ``int2float`` its shape.
+    """
+    mig = Mig(name=f"int2float{width}")
+    words = WordBuilder(mig)
+    x = words.input_word(width, "x")
+    sign = x[width - 1]
+    # |x| by conditional two's-complement negation.
+    flipped = [mig.xor(bit, sign) for bit in x]
+    mag, _ = words.add(flipped, words.constant_word(0, width), carry_in=sign)
+
+    # Leading-one detection, MSB first.
+    seen = CONST0
+    hits: list[tuple[int, int]] = []  # (bit position, one-hot hit)
+    for i in range(width - 1, -1, -1):
+        hits.append((i, mig.and_(mag[i], signal_not(seen))))
+        seen = mig.or_(seen, mag[i])
+
+    exp_max = (1 << exp_bits) - 1
+    exponent = []
+    for b in range(exp_bits):
+        acc = CONST0
+        for pos, hit in hits:
+            if (min(pos, exp_max) >> b) & 1:
+                acc = mig.or_(acc, hit)
+        exponent.append(acc)
+    mantissa = []
+    for j in range(man_bits):
+        # Bit j of the mantissa is |x| at position pos - (man_bits - j).
+        acc = CONST0
+        for pos, hit in hits:
+            src = pos - (man_bits - j)
+            if src >= 0:
+                acc = mig.or_(acc, mig.and_(hit, mag[src]))
+        mantissa.append(acc)
+
+    mig.add_po(sign, "sign")
+    for b, bit in enumerate(exponent):
+        mig.add_po(bit, f"e[{b}]")
+    for j, bit in enumerate(mantissa):
+        mig.add_po(bit, f"f[{j}]")
+    return mig
+
+
+def priority(width: int = 128) -> Mig:
+    """Priority encoder: *width* inputs, ``ceil(log2 width) + 1`` outputs.
+
+    Emits the binary index of the highest-priority (lowest-index) active
+    request plus a valid flag — 128 → 8, the paper signature.
+    """
+    mig = Mig(name=f"priority{width}")
+    words = WordBuilder(mig)
+    req = words.input_word(width, "r")
+    grants, any_req = _priority_scan(mig, req)
+    index_bits = max(1, (width - 1).bit_length())
+    for b in range(index_bits):
+        acc = CONST0
+        for i, grant in enumerate(grants):
+            if (i >> b) & 1:
+                acc = mig.or_(acc, grant)
+        mig.add_po(acc, f"y[{b}]")
+    mig.add_po(any_req, "valid")
+    return mig
+
+
+def router(rows: int = 6, cols: int = 5) -> Mig:
+    """Separable crossbar allocator: ``2 * rows * cols`` inputs, ``rows * cols`` outputs.
+
+    ``q[i*cols+j]`` requests input port *i* → output port *j*; ``m[...]``
+    is the matching rotating-priority mask.  A row stage picks at most
+    one output per input (masked priority with unmasked fallback, as in
+    :func:`arbiter`), then a column stage picks at most one input per
+    output — the two-stage separable allocator found in VC routers.
+    """
+    mig = Mig(name=f"router{rows}x{cols}")
+    words = WordBuilder(mig)
+    req = words.input_word(rows * cols, "q")
+    mask = words.input_word(rows * cols, "m")
+
+    def cell_stage(row: list[int], row_mask: list[int]) -> list[int]:
+        masked = words.and_word(row, row_mask)
+        grant_masked, any_masked = _priority_scan(mig, masked)
+        grant_raw, _ = _priority_scan(mig, row)
+        return [
+            mig.ite(any_masked, grant_masked[k], grant_raw[k])
+            for k in range(len(row))
+        ]
+
+    row_winner = []
+    for i in range(rows):
+        row = req[i * cols : (i + 1) * cols]
+        row_mask = mask[i * cols : (i + 1) * cols]
+        row_winner.append(cell_stage(row, row_mask))
+    for j in range(cols):
+        column = [row_winner[i][j] for i in range(rows)]
+        grants, _ = _priority_scan(mig, column)
+        for i in range(rows):
+            mig.add_po(grants[i], f"g[{i * cols + j}]")
+    return mig
+
+
+def voter(count: int = 1001) -> Mig:
+    """Majority voter: *count* inputs, 1 output.
+
+    A carry-save population-count tree (columns of full/half adders by
+    weight) followed by one wide comparison against ``count // 2 + 1``.
+    """
+    if count % 2 == 0:
+        raise ValueError("voter needs an odd input count")
+    mig = Mig(name=f"voter{count}")
+    words = WordBuilder(mig)
+    votes = words.input_word(count, "v")
+
+    columns: dict[int, list[int]] = {0: list(votes)}
+    weight = 0
+    while weight in columns:
+        column = columns[weight]
+        reduced: list[int] = []
+        while len(column) >= 3:
+            a, b, c = column.pop(), column.pop(), column.pop()
+            total, carry = words.full_adder(a, b, c)
+            reduced.append(total)
+            columns.setdefault(weight + 1, []).append(carry)
+        if len(column) == 2:
+            a, b = column.pop(), column.pop()
+            reduced.append(mig.xor(a, b))
+            columns.setdefault(weight + 1, []).append(mig.and_(a, b))
+        reduced.extend(column)
+        columns[weight] = reduced
+        if len(reduced) > 1:
+            continue  # another reduction round at the same weight
+        weight += 1
+
+    width = max(columns) + 1
+    total_word = [
+        columns[w][0] if columns.get(w) else CONST0 for w in range(width)
+    ]
+    threshold = words.constant_word(count // 2 + 1, width)
+    mig.add_po(words.geq(total_word, threshold), "majority")
+    return mig
+
+
+#: name -> (paper I/O, generator, paper-size kwargs, scaled kwargs) — the
+#: same spec shape as :data:`repro.generators.epfl.SUITE_SPECS`.
+CONTROL_SPECS = {
+    "arbiter": ((256, 129), arbiter, {"width": 128}, {"width": 16}),
+    "dec": ((8, 256), dec, {"width": 8}, {"width": 5}),
+    "int2float": ((11, 7), int2float, {"width": 11}, {"width": 8}),
+    "priority": ((128, 8), priority, {"width": 128}, {"width": 16}),
+    "router": ((60, 30), router, {"rows": 6, "cols": 5}, {"rows": 3, "cols": 3}),
+    "voter": ((1001, 1), voter, {"count": 1001}, {"count": 15}),
+}
+
+
+def control_suite(full_size: bool = False) -> dict[str, Mig]:
+    """Generate all 6 control instances (paper sizes when *full_size*)."""
+    suite = {}
+    for name, (_, generator, full_kwargs, scaled_kwargs) in CONTROL_SPECS.items():
+        kwargs = full_kwargs if full_size else scaled_kwargs
+        suite[name] = generator(**kwargs)
+    return suite

@@ -12,8 +12,10 @@ machinery — ABC-script-style pass sequencing over MIGs:
 Recognized steps: any functional-hashing variant acronym (``T``, ``TD``,
 ``TF``, ``TFD``, ``B``, ``BD``, ``BF``, ``BFD``), ``depth`` (algebraic
 depth optimization), ``depth-fast`` (associativity only, size-neutral),
-``strash`` (structural-hash rebuild), and ``fraig`` (SAT sweeping, for
-networks the solver can handle).
+``strash`` (structural-hash rebuild), ``fraig`` (SAT sweeping, for
+networks the solver can handle), and ``remap`` (map onto the cell
+library and resynthesize from the cover — the mapped-then-reoptimized
+round trip; see :mod:`repro.opt.remap`).
 
 On top of the sequencing the flow is a *fault-tolerant runtime*
 (docs/ROBUSTNESS.md): every step can run under a shared
@@ -103,9 +105,15 @@ def _apply_step(
         from .fraig import fraig
 
         return fraig(mig, budget=budget), None
+    if name == "remap":
+        if db is None:
+            raise ValueError("step 'remap' needs an NPN database")
+        from .remap import remap_resynth
+
+        return remap_resynth(mig, db), None
     raise ValueError(
         f"unknown flow step {step!r}; expected one of {VARIANTS} or "
-        "'depth', 'depth-fast', 'strash', 'fraig'"
+        "'depth', 'depth-fast', 'strash', 'fraig', 'remap'"
     )
 
 
@@ -117,13 +125,13 @@ def _validate_script(db: NpnDatabase | None, script: list[str]) -> None:
     """
     for step in script:
         name = step.strip()
-        if name.upper() in VARIANTS:
+        if name.upper() in VARIANTS or name == "remap":
             if db is None:
                 raise ValueError(f"step {step!r} needs an NPN database")
         elif name not in ("depth", "depth-fast", "strash", "fraig"):
             raise ValueError(
                 f"unknown flow step {step!r}; expected one of {VARIANTS} or "
-                "'depth', 'depth-fast', 'strash', 'fraig'"
+                "'depth', 'depth-fast', 'strash', 'fraig', 'remap'"
             )
 
 

@@ -13,9 +13,17 @@ The robustness substrate shared by every layer of the reproduction:
   the above against real failures;
 * :mod:`repro.runtime.jobs` — batch job specs, the retry/degradation
   ladder, and the crash-recoverable JSONL job journal;
+* :mod:`repro.runtime.executors` — the pluggable execution layer: the
+  ``Executor`` protocol (submit/poll/cancel/drain), the fork-based
+  ``LocalExecutor`` worker pool, and the ``ShardExecutor`` that runs one
+  task per (pseudo-)host for distributed sweeps;
 * :mod:`repro.runtime.supervisor` — the supervised parallel batch
-  runtime: worker-pool scheduling, process isolation, and the hard
-  wall-clock watchdog (SIGTERM → grace → SIGKILL);
+  runtime: journal-backed scheduling and the retry ladder, executing
+  through any ``Executor`` with the hard wall-clock watchdog
+  (SIGTERM → grace → SIGKILL);
+* :mod:`repro.runtime.sweep` — sharded multi-host sweeps: declarative
+  scenario matrices expanded to per-host journal shards, merged
+  exactly-once, published as trend rows to ``MATRIX.jsonl``;
 * :mod:`repro.runtime.worker` — the worker subprocess entry point
   (``python -m repro.runtime.worker``).
 
@@ -29,8 +37,19 @@ from .errors import (
     ReproRuntimeError,
     VerificationFailed,
 )
+from .executors import (
+    Executor,
+    ExecutorTask,
+    HostSpec,
+    LocalExecutor,
+    ShardExecutor,
+    TaskExit,
+    TaskHandle,
+    parse_hosts,
+)
 from .jobs import BatchReport, JobJournal, JobSpec
 from .supervisor import Supervisor, run_batch
+from .sweep import SweepConflictError, SweepSpec, run_sweep
 from .verify import VerificationReport, verify_rewrite
 
 __all__ = [
@@ -38,12 +57,23 @@ __all__ = [
     "Budget",
     "BudgetExhausted",
     "CorruptArtifact",
+    "Executor",
+    "ExecutorTask",
+    "HostSpec",
     "JobJournal",
     "JobSpec",
+    "LocalExecutor",
     "ReproRuntimeError",
+    "ShardExecutor",
     "Supervisor",
+    "SweepConflictError",
+    "SweepSpec",
+    "TaskExit",
+    "TaskHandle",
     "VerificationFailed",
     "VerificationReport",
+    "parse_hosts",
     "run_batch",
+    "run_sweep",
     "verify_rewrite",
 ]

@@ -466,8 +466,13 @@ class BatchReport:
     interrupted: bool = False
     #: peak number of simultaneously live workers
     max_concurrent: int = 0
-    #: worker slot index -> number of jobs that slot completed
-    jobs_per_slot: dict[int, int] = field(default_factory=dict)
+    #: worker slot label -> number of jobs that slot completed.  Labels
+    #: are executor slot names (``"0"``, ``"1"``, …) for a single pool
+    #: and shard-qualified (``"h0/0"``) after a sweep merge, so pools
+    #: from different shards never alias each other's slot 0.
+    jobs_per_slot: dict[str, int] = field(default_factory=dict)
+    #: shard name -> per-shard summary, populated by :meth:`merge_shard`
+    shards: dict[str, dict] = field(default_factory=dict)
     #: merged hot-path counters from every successful job
     metrics: PassMetrics = field(default_factory=PassMetrics)
     #: per-job summaries in submit order
@@ -475,8 +480,48 @@ class BatchReport:
 
     @property
     def workers_used(self) -> int:
-        """Distinct worker slots that completed at least one job."""
+        """Distinct worker slots (across all shards) that completed a job."""
         return sum(1 for count in self.jobs_per_slot.values() if count)
+
+    def count_slot(self, slot: int | str) -> None:
+        """Credit one completed job to executor slot *slot*."""
+        key = str(slot)
+        self.jobs_per_slot[key] = self.jobs_per_slot.get(key, 0) + 1
+
+    def merge_shard(self, name: str, shard: "BatchReport") -> None:
+        """Fold one shard's report into this (sweep-level) report.
+
+        Slot utilization is namespaced per shard (``<name>/<slot>``):
+        the pre-sweep accounting assumed a single worker pool, so slot 0
+        of every shard would otherwise collapse into one counter and
+        under-report both utilization and ``workers_used``.
+        """
+        self.total += shard.total
+        self.done += shard.done
+        self.quarantined += shard.quarantined
+        self.failed_attempts += shard.failed_attempts
+        self.retries += shard.retries
+        self.adopted += shard.adopted
+        self.interrupted = self.interrupted or shard.interrupted
+        self.max_concurrent += shard.max_concurrent
+        for slot, count in shard.jobs_per_slot.items():
+            key = f"{name}/{slot}"
+            self.jobs_per_slot[key] = self.jobs_per_slot.get(key, 0) + count
+        self.metrics.merge(shard.metrics)
+        for summary in shard.jobs:
+            entry = dict(summary)
+            entry["shard"] = name
+            self.jobs.append(entry)
+        self.shards[name] = {
+            "total": shard.total,
+            "done": shard.done,
+            "quarantined": shard.quarantined,
+            "adopted": shard.adopted,
+            "retries": shard.retries,
+            "workers_used": shard.workers_used,
+            "wall_seconds": round(shard.wall_seconds, 6),
+            "interrupted": shard.interrupted,
+        }
 
     def to_dict(self) -> dict:
         return {
@@ -491,9 +536,38 @@ class BatchReport:
             "max_concurrent": self.max_concurrent,
             "workers_used": self.workers_used,
             "jobs_per_slot": {str(k): v for k, v in self.jobs_per_slot.items()},
+            "shards": {name: dict(info) for name, info in self.shards.items()},
             "metrics": self.metrics.to_dict(),
             "jobs": list(self.jobs),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchReport":
+        """Rehydrate a report persisted by :meth:`to_dict` (shard merges
+        read per-shard ``report.json`` files written by other hosts)."""
+        report = cls(
+            total=int(data.get("total", 0)),
+            done=int(data.get("done", 0)),
+            quarantined=int(data.get("quarantined", 0)),
+            failed_attempts=int(data.get("failed_attempts", 0)),
+            retries=int(data.get("retries", 0)),
+            adopted=int(data.get("adopted", 0)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            interrupted=bool(data.get("interrupted", False)),
+            max_concurrent=int(data.get("max_concurrent", 0)),
+            jobs_per_slot={
+                str(k): int(v)
+                for k, v in dict(data.get("jobs_per_slot", {})).items()
+            },
+            shards={
+                str(k): dict(v) for k, v in dict(data.get("shards", {})).items()
+            },
+            jobs=[dict(job) for job in data.get("jobs", [])],
+        )
+        metrics = data.get("metrics")
+        if isinstance(metrics, dict):
+            report.metrics = PassMetrics.from_dict(metrics)
+        return report
 
     def iter_job_summaries(self) -> Iterator[dict]:
         return iter(self.jobs)

@@ -63,6 +63,7 @@ from pathlib import Path
 
 from .artifacts import atomic_write_text, quarantine
 from .cache import ResultCache, request_key
+from .executors import LocalExecutor
 from .faults import arm_from_env, fault_active
 from .jobs import JobJournal, JobSpec
 from .supervisor import Supervisor
@@ -106,18 +107,18 @@ def _load_request_network(network) -> "object":
     kind = kinds[0]
     try:
         if kind == "generate":
-            from ..generators.epfl import SUITE_SPECS
+            from ..generators import resolve_generator
 
-            name = str(network["generate"])
-            if name not in SUITE_SPECS:
-                raise BadRequest(
-                    f"unknown generator {name!r}; choose from {sorted(SUITE_SPECS)}"
+            try:
+                return resolve_generator(
+                    str(network["generate"]),
+                    width=(
+                        None if network.get("width") is None
+                        else int(network["width"])
+                    ),
                 )
-            _, generator, _, scaled_kwargs = SUITE_SPECS[name]
-            kwargs = dict(scaled_kwargs)
-            if network.get("width") is not None:
-                kwargs = {"width": int(network["width"])}
-            return generator(**kwargs)
+            except ValueError as exc:
+                raise BadRequest(str(exc))
         text = network[kind]
         if not isinstance(text, str):
             raise BadRequest(f"'{kind}' upload must be a string")
@@ -574,6 +575,10 @@ class OptimizationService:
             self._finalize_timeout(job, "deadline expired while queued")
             return
 
+        # The daemon routes through the same executor layer as batch and
+        # sweep; the explicit LocalExecutor is owned here, reused across
+        # the resume retry, and closed when the job settles.
+        executor = LocalExecutor(num_workers=1, grace=self.grace)
         supervisor = Supervisor(
             job.workdir / "super",
             num_workers=1,
@@ -581,6 +586,7 @@ class OptimizationService:
             max_attempts=self.max_attempts,
             backoff_base=0.1,
             default_time_limit=self.default_time_limit,
+            executor=executor,
         )
         with self._lock:
             self._active_supervisors[job.job_id] = supervisor
@@ -589,6 +595,7 @@ class OptimizationService:
         except FileExistsError:
             report = supervisor.run([job.spec], resume=True)
         finally:
+            executor.close()
             with self._lock:
                 self._active_supervisors.pop(job.job_id, None)
                 self._running = max(0, self._running - 1)

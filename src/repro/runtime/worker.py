@@ -83,18 +83,15 @@ def _load_network(network: dict):
     from ..core.mig import Mig  # noqa: F401 - type only
 
     if "generate" in network:
-        from ..generators.epfl import SUITE_SPECS
+        from ..generators import resolve_generator
 
-        name = network["generate"]
-        if name not in SUITE_SPECS:
-            raise ValueError(
-                f"unknown generator {name!r}; choose from {sorted(SUITE_SPECS)}"
-            )
-        _, generator, _, scaled_kwargs = SUITE_SPECS[name]
-        kwargs = dict(scaled_kwargs)
-        if network.get("width") is not None:
-            kwargs = {"width": int(network["width"])}
-        return generator(**kwargs)
+        return resolve_generator(
+            str(network["generate"]),
+            width=(
+                None if network.get("width") is None
+                else int(network["width"])
+            ),
+        )
     if "blif" in network:
         from ..io.blif import read_blif
 

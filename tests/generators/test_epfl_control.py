@@ -1,0 +1,175 @@
+"""Tests for the EPFL random/control benchmark generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.generators import epfl_control
+from repro.generators import GENERATORS, resolve_generator
+
+
+class TestPaperSignatures:
+    """The full-size instances must have the paper's exact I/O signatures."""
+
+    @pytest.mark.parametrize(
+        "name", ["arbiter", "dec", "int2float", "priority", "router", "voter"]
+    )
+    def test_io_signature(self, name):
+        (pis, pos), generator, full_kwargs, _ = epfl_control.CONTROL_SPECS[name]
+        mig = generator(**full_kwargs)
+        assert mig.num_pis == pis, name
+        assert mig.num_pos == pos, name
+        mig.check()
+
+    def test_scaled_suite_generates(self):
+        suite = epfl_control.control_suite(full_size=False)
+        assert len(suite) == 6
+        for name, mig in suite.items():
+            assert mig.num_gates > 0, name
+            mig.check()
+
+
+class TestResolveGenerator:
+    def test_both_halves_are_registered(self):
+        assert set(GENERATORS) >= {
+            "adder", "divisor", "log2", "max", "multiplier", "sine",
+            "square-root", "square",
+            "arbiter", "dec", "int2float", "priority", "router", "voter",
+        }
+
+    def test_width_maps_to_the_right_kwarg(self):
+        assert resolve_generator("adder", width=8).num_pis == 16
+        assert resolve_generator("priority", width=16).num_pis == 16
+        # voter's size parameter is a count, not a width
+        assert resolve_generator("voter", width=9).num_pis == 9
+
+    def test_router_refuses_width(self):
+        with pytest.raises(ValueError):
+            resolve_generator("router", width=12)
+        assert resolve_generator("router", full_size=True).num_pis == 60
+
+    def test_unknown_name_lists_the_suite(self):
+        with pytest.raises(ValueError, match="voter"):
+            resolve_generator("nonesuch")
+
+
+class TestFunctionalCorrectness:
+    def _assign(self, mig, values):
+        patterns = [values[name] for name in mig.pi_names]
+        return mig.simulate_patterns(patterns, 1)
+
+    def test_arbiter_grants(self):
+        width = 8
+        mig = epfl_control.arbiter(width)
+        rng = random.Random(11)
+        for _ in range(30):
+            req = rng.getrandbits(width)
+            mask = rng.getrandbits(width)
+            values = {f"r[{i}]": (req >> i) & 1 for i in range(width)}
+            values.update({f"m[{i}]": (mask >> i) & 1 for i in range(width)})
+            outs = self._assign(mig, values)
+            grants, valid = outs[:width], outs[width]
+            assert valid == (1 if req else 0)
+            assert sum(grants) == (1 if req else 0)
+            if req:
+                eligible = req & mask
+                pool = eligible if eligible else req
+                winner = (pool & -pool).bit_length() - 1  # lowest set bit
+                assert grants[winner] == 1
+
+    def test_dec_is_one_hot(self):
+        width = 4
+        mig = epfl_control.dec(width)
+        for addr in range(1 << width):
+            values = {f"a[{i}]": (addr >> i) & 1 for i in range(width)}
+            outs = self._assign(mig, values)
+            assert sum(outs) == 1
+            assert outs[addr] == 1
+
+    def test_priority_encodes_the_lowest_index(self):
+        width = 16
+        mig = epfl_control.priority(width)
+        rng = random.Random(12)
+        for req in [0, 1, 1 << 15] + [rng.getrandbits(width) for _ in range(30)]:
+            values = {f"r[{i}]": (req >> i) & 1 for i in range(width)}
+            outs = self._assign(mig, values)
+            index = sum(bit << b for b, bit in enumerate(outs[:-1]))
+            valid = outs[-1]
+            if req == 0:
+                assert valid == 0
+                assert index == 0
+            else:
+                assert valid == 1
+                assert index == (req & -req).bit_length() - 1
+
+    def test_int2float_fields(self):
+        width, exp_bits, man_bits = 8, 3, 3
+        mig = epfl_control.int2float(width, exp_bits, man_bits)
+        rng = random.Random(13)
+        for x in [0, 1, -1, 127, -128] + [
+            rng.randint(-128, 127) for _ in range(30)
+        ]:
+            raw = x & ((1 << width) - 1)
+            values = {f"x[{i}]": (raw >> i) & 1 for i in range(width)}
+            outs = self._assign(mig, values)
+            sign, rest = outs[0], outs[1:]
+            exponent = sum(bit << b for b, bit in enumerate(rest[:exp_bits]))
+            mantissa = sum(bit << j for j, bit in enumerate(rest[exp_bits:]))
+            assert sign == (1 if x < 0 else 0)
+            mag = abs(x)
+            if mag == 0:
+                assert exponent == 0 and mantissa == 0
+                continue
+            pos = mag.bit_length() - 1
+            assert exponent == min(pos, (1 << exp_bits) - 1)
+            expected_man = 0
+            for j in range(man_bits):
+                src = pos - (man_bits - j)
+                if src >= 0 and (mag >> src) & 1:
+                    expected_man |= 1 << j
+            assert mantissa == expected_man
+
+    def test_router_allocates_separably(self):
+        rows, cols = 3, 3
+        mig = epfl_control.router(rows, cols)
+        rng = random.Random(14)
+        for _ in range(30):
+            req = rng.getrandbits(rows * cols)
+            mask = rng.getrandbits(rows * cols)
+            values = {f"q[{i}]": (req >> i) & 1 for i in range(rows * cols)}
+            values.update(
+                {f"m[{i}]": (mask >> i) & 1 for i in range(rows * cols)}
+            )
+            outs = self._assign(mig, values)
+            # POs are emitted column-outer; index grants by name instead.
+            by_name = dict(zip(mig.output_names, outs))
+            grid = [
+                [by_name[f"g[{i * cols + j}]"] for j in range(cols)]
+                for i in range(rows)
+            ]
+            for i in range(rows):
+                assert sum(grid[i]) <= 1, "an input feeds at most one output"
+            for j in range(cols):
+                column = [grid[i][j] for i in range(rows)]
+                assert sum(column) <= 1, "an output takes at most one input"
+            for i in range(rows):
+                for j in range(cols):
+                    if grid[i][j]:
+                        assert (req >> (i * cols + j)) & 1, "grant needs a request"
+
+    def test_voter_majority(self):
+        count = 9
+        mig = epfl_control.voter(count)
+        rng = random.Random(15)
+        for votes in [0, (1 << count) - 1] + [
+            rng.getrandbits(count) for _ in range(30)
+        ]:
+            values = {f"v[{i}]": (votes >> i) & 1 for i in range(count)}
+            (out,) = self._assign(mig, values)
+            assert out == (1 if bin(votes).count("1") > count // 2 else 0)
+
+    def test_voter_requires_odd_count(self):
+        with pytest.raises(ValueError):
+            epfl_control.voter(10)

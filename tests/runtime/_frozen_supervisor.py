@@ -1,41 +1,11 @@
-"""The supervised parallel batch runtime: scheduler + journal over an executor.
+"""FROZEN copy of the pre-executor-refactor Supervisor (PR 3..9 behavior).
 
-PR 1's in-process budgets make a single optimization trustworthy *when
-the code cooperates*; this module contains the cases where it does not —
-a CDCL run that ignores its poll points, a memory blowup, a hard crash —
-by moving each job into its own subprocess and supervising it at the OS
-level:
-
-* **process isolation** — every job runs ``python -m
-  repro.runtime.worker`` with its own address-space rlimit; spec and
-  result travel through atomically written JSON files;
-* **hard wall-clock watchdog** — a job past its time limit is sent
-  SIGTERM; one that ignores it (see the ``worker.hang`` fault) is
-  SIGKILLed after a grace period.  The batch always finishes;
-* **retry with degradation** — a failed attempt is re-queued with
-  exponential backoff and *weaker parameters*
-  (:func:`repro.runtime.jobs.degraded`) until it succeeds or exhausts
-  ``max_attempts`` and is quarantined with the captured traceback and
-  rusage;
-* **crash-recoverable journal** — every state transition is fsynced to
-  the JSONL journal *before* the supervisor acts on it.  ``kill -9`` of
-  the supervisor or any worker mid-batch loses nothing: a resumed run
-  re-queues orphaned ``running`` jobs (adopting an already-written valid
-  result instead of re-running), skips terminal ones, and completes
-  every job exactly once.
-
-Since the executor-layer refactor the Supervisor is a pure *scheduler*:
-process launching, polling and the watchdog escalation live behind the
-:class:`~repro.runtime.executors.Executor` protocol.  The default
-:class:`~repro.runtime.executors.LocalExecutor` reproduces the historic
-fork pool exactly (``tests/runtime/test_executor_differential.py`` pins
-it against the frozen pre-refactor monolith); a sweep coordinator runs
-whole journal *shards* through a
-:class:`~repro.runtime.executors.ShardExecutor` instead — same
-scheduling discipline, one level up (:mod:`repro.runtime.sweep`).
-
-The public entry point is :func:`run_batch`; the ``migopt batch`` CLI
-subcommand and ``benchmarks/flows.py`` are thin wrappers around it.
+This is the differential-test oracle for the executor-layer refactor:
+``tests/runtime/test_executor_differential.py`` runs the same fixed
+batch through this frozen scheduler-and-pool monolith and through the
+refactored ``Supervisor`` + ``LocalExecutor`` pair, and asserts the
+journals and ``BatchReport`` are equivalent modulo pids, timestamps,
+and rusage.  Do not modify this file except to keep it importable.
 """
 
 from __future__ import annotations
@@ -43,16 +13,16 @@ from __future__ import annotations
 import json
 import os
 import signal
+import subprocess
 import sys
 import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from . import faults
-from .artifacts import atomic_write_text
-from .executors import Executor, ExecutorTask, LocalExecutor, TaskExit
-from .jobs import (
+from repro.runtime import faults
+from repro.runtime.artifacts import atomic_write_text
+from repro.runtime.jobs import (
     BatchReport,
     JobJournal,
     JobRecord,
@@ -60,11 +30,11 @@ from .jobs import (
     degraded,
     load_result_artifact,
 )
-from .metrics import PassMetrics
+from repro.runtime.metrics import PassMetrics
 
 __all__ = ["Supervisor", "run_batch", "spec_for_attempt"]
 
-#: scheduler tick — how often the executor is polled
+#: scheduler tick — how often running workers are polled
 _POLL_INTERVAL = 0.02
 
 
@@ -84,17 +54,25 @@ def spec_for_attempt(base: JobSpec, attempt: int) -> tuple[JobSpec, list[str]]:
 
 
 @dataclass
-class _Pending:
-    """Supervisor-side bookkeeping for one submitted attempt."""
+class _Running:
+    """Supervisor-side state of one live worker."""
 
     job_id: str
+    proc: subprocess.Popen
+    slot: int
     attempt: int
+    started: float
     result_path: Path
-    time_limit: float | None
+    #: SIGTERM instant (None = no wall-clock watchdog for this job)
+    term_at: float | None
+    #: SIGKILL instant
+    kill_at: float | None
+    termed: bool = False
+    killed: bool = False
 
 
 class Supervisor:
-    """Schedules jobs from the journal across an executor's task slots.
+    """Schedules jobs from the journal across a pool of worker processes.
 
     *workdir* holds everything the batch persists::
 
@@ -109,9 +87,6 @@ class Supervisor:
     healthy worker that honors its in-process budget is never killed;
     *backoff_base* seconds doubles per failed attempt (kept small in
     tests); *default_time_limit* applies to specs without their own.
-    *executor* overrides where attempts run (default: a fresh
-    :class:`LocalExecutor` per :meth:`run`, reproducing the historic
-    fork pool).
     """
 
     def __init__(
@@ -124,7 +99,6 @@ class Supervisor:
         default_time_limit: float | None = None,
         startup_margin: float = 1.0,
         verbose: bool = False,
-        executor: Executor | None = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -138,7 +112,6 @@ class Supervisor:
         self.default_time_limit = default_time_limit
         self.startup_margin = startup_margin
         self.verbose = verbose
-        self.executor = executor
         self.specs_dir = self.workdir / "specs"
         self.results_dir = self.workdir / "results"
         self._shutdown = threading.Event()
@@ -175,13 +148,6 @@ class Supervisor:
     def _result_path(self, job_id: str) -> Path:
         return self.results_dir / f"{job_id}.json"
 
-    def _make_executor(self) -> Executor:
-        return LocalExecutor(
-            num_workers=self.num_workers,
-            grace=self.grace,
-            startup_margin=self.startup_margin,
-        )
-
     # -- batch entry ------------------------------------------------------
 
     def run(self, specs: list[JobSpec], resume: bool = False) -> BatchReport:
@@ -204,24 +170,18 @@ class Supervisor:
 
         replay = JobJournal.replay(self.journal_path)
         started = time.monotonic()
-        executor = self.executor if self.executor is not None else self._make_executor()
-        owns_executor = self.executor is None
-        try:
-            with JobJournal(self.journal_path) as journal:
-                records = replay.records
-                order = replay.order
-                for spec in specs:
-                    if spec.job_id in records:
-                        continue
-                    journal.submit(spec)
-                    records[spec.job_id] = JobRecord(spec=spec)
-                    order.append(spec.job_id)
+        with JobJournal(self.journal_path) as journal:
+            records = replay.records
+            order = replay.order
+            for spec in specs:
+                if spec.job_id in records:
+                    continue
+                journal.submit(spec)
+                records[spec.job_id] = JobRecord(spec=spec)
+                order.append(spec.job_id)
 
-                ready, delayed = self._recover(journal, records, order)
-                report = self._loop(journal, records, order, ready, delayed, executor)
-        finally:
-            if owns_executor:
-                executor.close()
+            ready, delayed = self._recover(journal, records, order)
+            report = self._loop(journal, records, order, ready, delayed)
 
         report.wall_seconds = time.monotonic() - started
         report.total = len(order)
@@ -329,7 +289,6 @@ class Supervisor:
         order: list[str],
         ready: list[str],
         delayed: dict[str, float],
-        executor: Executor,
     ) -> BatchReport:
         report = BatchReport()
         for record in records.values():
@@ -340,11 +299,12 @@ class Supervisor:
                 self._merge_metrics(report, record.result)
             elif record.state == "quarantined":
                 report.quarantined += 1
-        pending: dict[str, _Pending] = {}
+        running: dict[int, _Running] = {}
+        free_slots = list(range(self.num_workers))
 
-        while ready or delayed or pending:
+        while ready or delayed or running:
             if self._shutdown.is_set():
-                self._drain(journal, records, pending, report, executor)
+                self._drain(journal, records, running, report)
                 break
             now = time.monotonic()
             progressed = False
@@ -355,27 +315,35 @@ class Supervisor:
                 ready.append(job_id)
                 progressed = True
 
-            # Fill free executor slots.
-            while ready and executor.has_capacity(
-                self._task_probe(records[ready[0]])
-            ):
+            # Fill free worker slots.
+            while ready and free_slots:
                 job_id = ready.pop(0)
-                pending[job_id] = self._spawn(
-                    journal, records[job_id], job_id, executor
-                )
-                report.max_concurrent = max(
-                    report.max_concurrent, executor.running_count
-                )
+                slot = free_slots.pop(0)
+                running[slot] = self._spawn(journal, records[job_id], job_id, slot)
+                report.max_concurrent = max(report.max_concurrent, len(running))
                 progressed = True
 
-            # Collect exits; the executor escalates overdue watchdogs.
-            for task_exit in executor.poll():
-                attempt = pending.pop(task_exit.task_id)
-                self._finish(
-                    journal, records[attempt.job_id], attempt, task_exit,
-                    report, ready, delayed,
-                )
-                progressed = True
+            # Poll workers; escalate the watchdog on overdue ones.
+            for slot in list(running):
+                worker = running[slot]
+                rc = worker.proc.poll()
+                if rc is not None:
+                    del running[slot]
+                    free_slots.append(slot)
+                    free_slots.sort()
+                    self._finish(
+                        journal, records[worker.job_id], worker, rc,
+                        report, ready, delayed,
+                    )
+                    progressed = True
+                    continue
+                now = time.monotonic()
+                if worker.kill_at is not None and now >= worker.kill_at and not worker.killed:
+                    worker.proc.kill()
+                    worker.killed = True
+                elif worker.term_at is not None and now >= worker.term_at and not worker.termed:
+                    worker.proc.terminate()
+                    worker.termed = True
 
             if not progressed:
                 # Nothing to do but wait: sleep until the next deadline of
@@ -383,21 +351,12 @@ class Supervisor:
                 time.sleep(_POLL_INTERVAL)
         return report
 
-    @staticmethod
-    def _task_probe(record: JobRecord) -> ExecutorTask:
-        """A capacity-probe task (host pinning is all an executor reads)."""
-        host = None
-        if record.spec.payload is not None:
-            host = record.spec.payload.get("host")
-        return ExecutorTask(task_id=record.spec.job_id, argv=(), host=host)
-
     def _drain(
         self,
         journal: JobJournal,
         records: dict[str, JobRecord],
-        pending: dict[str, _Pending],
+        running: dict[int, _Running],
         report: BatchReport,
-        executor: Executor,
     ) -> None:
         """Stop the batch cleanly: no orphans, journal fully resumable.
 
@@ -411,32 +370,46 @@ class Supervisor:
         the same attempt number, preserving exactly-once semantics.
         """
         report.interrupted = True
-        for task_exit in executor.drain():
-            attempt = pending.pop(task_exit.task_id)
-            record = records[attempt.job_id]
-            payload = load_result_artifact(attempt.result_path, attempt.job_id)
-            if payload is not None and payload.get("status") == "ok":
-                summary = self._result_summary(payload)
-                journal.done(attempt.job_id, summary)
-                record.state = "done"
-                record.result = summary
-                report.done += 1
-                report.count_slot(task_exit.slot)
-                self._merge_metrics(report, payload)
-            else:
-                journal.requeued(attempt.job_id, ["resume:interrupted"])
-                record.state = "pending"
-                record.attempts = max(0, record.attempts - 1)
-            if self.verbose:
-                print(f"[supervisor] drained {attempt.job_id} ({record.state})")
+        for worker in running.values():
+            if not worker.termed:
+                worker.proc.terminate()
+                worker.termed = True
+        kill_deadline = time.monotonic() + self.grace
+        while running:
+            now = time.monotonic()
+            for slot in list(running):
+                worker = running[slot]
+                rc = worker.proc.poll()
+                if rc is None:
+                    if now >= kill_deadline and not worker.killed:
+                        worker.proc.kill()
+                        worker.killed = True
+                    continue
+                del running[slot]
+                record = records[worker.job_id]
+                payload = load_result_artifact(worker.result_path, worker.job_id)
+                if payload is not None and payload.get("status") == "ok":
+                    summary = self._result_summary(payload)
+                    journal.done(worker.job_id, summary)
+                    record.state = "done"
+                    record.result = summary
+                    report.done += 1
+                    report.jobs_per_slot[worker.slot] = (
+                        report.jobs_per_slot.get(worker.slot, 0) + 1
+                    )
+                    self._merge_metrics(report, payload)
+                else:
+                    journal.requeued(worker.job_id, ["resume:interrupted"])
+                    record.state = "pending"
+                    record.attempts = max(0, record.attempts - 1)
+                if self.verbose:
+                    print(f"[supervisor] drained {worker.job_id} ({record.state})")
+            if running:
+                time.sleep(_POLL_INTERVAL)
 
     def _spawn(
-        self,
-        journal: JobJournal,
-        record: JobRecord,
-        job_id: str,
-        executor: Executor,
-    ) -> _Pending:
+        self, journal: JobJournal, record: JobRecord, job_id: str, slot: int
+    ) -> _Running:
         attempt = record.attempts + 1
         spec, notes = spec_for_attempt(record.spec, attempt)
         if spec.time_limit is None and self.default_time_limit is not None:
@@ -457,30 +430,34 @@ class Supervisor:
             pass
         atomic_write_text(spec_path, json.dumps(spec.to_dict(), sort_keys=True) + "\n")
 
-        host = None
-        if spec.payload is not None:
-            host = spec.payload.get("host")
-        task = ExecutorTask(
-            task_id=job_id,
-            argv=(sys.executable, "-m", "repro.runtime.worker",
-                  str(spec_path), str(result_path)),
-            env=self._child_env(),
-            cwd=str(self.workdir),
-            log_path=str(self.workdir / "logs" / f"{job_id}.log"),
-            time_limit=spec.time_limit,
-            host=host,
-        )
-        handle = executor.submit(task)
-        journal.start(job_id, attempt, handle.pid, spec)
+        log_path = self.workdir / "logs" / f"{job_id}.log"
+        log_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(log_path, "ab") as log_fp:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.runtime.worker",
+                 str(spec_path), str(result_path)],
+                env=self._child_env(),
+                stdout=subprocess.DEVNULL,
+                stderr=log_fp,
+                cwd=str(self.workdir),
+            )
+        journal.start(job_id, attempt, proc.pid, spec)
         record.state = "running"
         record.attempts = attempt
-        record.pid = handle.pid
+        record.pid = proc.pid
         if self.verbose:
-            print(f"[supervisor] start {job_id} attempt {attempt} pid {handle.pid}"
+            print(f"[supervisor] start {job_id} attempt {attempt} pid {proc.pid}"
                   + (f" degraded {notes}" if notes else ""))
-        return _Pending(
-            job_id=job_id, attempt=attempt, result_path=result_path,
-            time_limit=spec.time_limit,
+
+        started = time.monotonic()
+        term_at = kill_at = None
+        if spec.time_limit is not None:
+            term_at = started + spec.time_limit + self.startup_margin
+            kill_at = term_at + self.grace
+        return _Running(
+            job_id=job_id, proc=proc, slot=slot, attempt=attempt,
+            started=started, result_path=result_path,
+            term_at=term_at, kill_at=kill_at,
         )
 
     def _child_env(self) -> dict[str, str]:
@@ -493,7 +470,9 @@ class Supervisor:
         accounting in one process even across retries.
         """
         env = dict(os.environ)
-        package_root = str(Path(__file__).resolve().parents[2])
+        # the frozen copy lives under tests/, so derive the import
+        # root from the real package, not from __file__
+        package_root = str(Path(faults.__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH", "")
         if package_root not in existing.split(os.pathsep):
             env["PYTHONPATH"] = (
@@ -518,21 +497,23 @@ class Supervisor:
         self,
         journal: JobJournal,
         record: JobRecord,
-        attempt: _Pending,
-        task_exit: TaskExit,
+        worker: _Running,
+        returncode: int,
         report: BatchReport,
         ready: list[str],
         delayed: dict[str, float],
     ) -> None:
-        job_id = attempt.job_id
-        payload = load_result_artifact(attempt.result_path, job_id)
+        job_id = worker.job_id
+        payload = load_result_artifact(worker.result_path, job_id)
         if payload is not None and payload.get("status") == "ok":
             summary = self._result_summary(payload)
             journal.done(job_id, summary)
             record.state = "done"
             record.result = summary
             report.done += 1
-            report.count_slot(task_exit.slot)
+            report.jobs_per_slot[worker.slot] = (
+                report.jobs_per_slot.get(worker.slot, 0) + 1
+            )
             self._merge_metrics(report, payload)
             if self.verbose:
                 print(f"[supervisor] done {job_id} "
@@ -544,31 +525,30 @@ class Supervisor:
             error = str(payload.get("error", "worker reported failure"))
             traceback = payload.get("traceback")
             rusage = payload.get("rusage")
-        elif task_exit.killed:
+        elif worker.killed:
             error = (
-                f"SIGKILLed by watchdog after {task_exit.runtime:.1f}s "
+                f"SIGKILLed by watchdog after "
+                f"{time.monotonic() - worker.started:.1f}s "
                 f"(limit {record.effective_spec.time_limit}s + grace {self.grace}s)"
             )
-        elif task_exit.termed:
+        elif worker.termed:
             error = (
-                f"SIGTERMed by watchdog after {task_exit.runtime:.1f}s "
+                f"SIGTERMed by watchdog after "
+                f"{time.monotonic() - worker.started:.1f}s "
                 f"(limit {record.effective_spec.time_limit}s)"
             )
-        elif task_exit.returncode < 0:
-            error = f"worker died on signal {-task_exit.returncode}"
+        elif returncode < 0:
+            error = f"worker died on signal {-returncode}"
         else:
-            error = (
-                f"worker exited with code {task_exit.returncode} "
-                "and no result artifact"
-            )
+            error = f"worker exited with code {returncode} and no result artifact"
         report.failed_attempts += 1
-        journal.failed(job_id, attempt.attempt, error, traceback, rusage)
+        journal.failed(job_id, worker.attempt, error, traceback, rusage)
         record.state = "failed"
         record.last_error = error
         record.traceback = traceback
         record.rusage = rusage
         if self.verbose:
-            print(f"[supervisor] failed {job_id} attempt {attempt.attempt}: {error}")
+            print(f"[supervisor] failed {job_id} attempt {worker.attempt}: {error}")
         self._retry_or_quarantine(
             journal, record, job_id, error, traceback, rusage,
             delayed, ready, report,

@@ -1,0 +1,119 @@
+"""Differential test pinning the executor refactor to pre-refactor behavior.
+
+``_frozen_supervisor`` is a verbatim copy of the Supervisor before the
+process pool was extracted into :class:`repro.runtime.executors.
+LocalExecutor`.  The same fixed batch runs through both; the journals
+and :class:`BatchReport` must be equivalent modulo the things that can
+never be stable across runs — pids, timestamps, rusage, runtimes, and
+the workdir prefix baked into artifact paths.
+
+``num_workers=1`` keeps the scheduling order deterministic so the
+journals compare event-for-event, not just as sets.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.jobs import JobSpec
+from repro.runtime.supervisor import run_batch as run_batch_new
+
+from . import _frozen_supervisor
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"),
+    reason="the batch runtime relies on POSIX process groups and signals",
+)
+
+JOB_TIME = 60.0
+
+#: fields that legitimately differ between two runs of the same batch
+_VOLATILE_KEYS = frozenset({
+    "pid", "runtime", "rusage", "wall_seconds", "phase_seconds",
+})
+
+
+def fixed_specs(workdir: Path) -> list[JobSpec]:
+    """A small deterministic batch: three instances, BF script, sim verify."""
+    specs = []
+    for name, width in (("adder", 6), ("max", 6), ("square", 6)):
+        job_id = f"{name}-w{width}.BF"
+        specs.append(JobSpec(
+            job_id=job_id,
+            network={"generate": name, "width": width},
+            script=("BF",),
+            verify="sim",
+            time_limit=JOB_TIME,
+            output=str(workdir / "outputs" / f"{job_id}.blif"),
+        ))
+    return specs
+
+
+def scrub(value, workdir: str):
+    """Strip volatile fields and normalize the workdir out of paths."""
+    if isinstance(value, dict):
+        return {
+            key: scrub(item, workdir)
+            for key, item in value.items()
+            if key not in _VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [scrub(item, workdir) for item in value]
+    if isinstance(value, str) and workdir in value:
+        return value.replace(workdir, "<WORKDIR>")
+    return value
+
+
+def journal_events(workdir: Path) -> list[dict]:
+    path = workdir / "batch" / "journal.jsonl"
+    events = [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    return [scrub(event, str(workdir)) for event in events]
+
+
+def run_both(tmp_path: Path) -> tuple:
+    old_dir = tmp_path / "frozen"
+    new_dir = tmp_path / "refactored"
+    old_report = _frozen_supervisor.run_batch(
+        fixed_specs(old_dir), old_dir / "batch",
+        num_workers=1, backoff_base=0.05,
+    )
+    new_report = run_batch_new(
+        fixed_specs(new_dir), new_dir / "batch",
+        num_workers=1, backoff_base=0.05,
+    )
+    return old_dir, old_report, new_dir, new_report
+
+
+class TestDifferential:
+    def test_journals_and_report_are_equivalent(self, tmp_path):
+        old_dir, old_report, new_dir, new_report = run_both(tmp_path)
+
+        assert old_report.done == new_report.done == 3
+        assert old_report.quarantined == new_report.quarantined == 0
+
+        old_events = journal_events(old_dir)
+        new_events = journal_events(new_dir)
+        assert old_events == new_events, (
+            "journal divergence between frozen and refactored supervisors"
+        )
+
+        old_dict = scrub(old_report.to_dict(), str(old_dir))
+        new_dict = scrub(new_report.to_dict(), str(new_dir))
+        assert old_dict == new_dict
+
+    def test_outputs_are_byte_identical(self, tmp_path):
+        """Same seed batch ⇒ bit-identical optimized networks."""
+        old_dir, _, new_dir, _ = run_both(tmp_path)
+        old_outputs = sorted((old_dir / "outputs").iterdir())
+        new_outputs = sorted((new_dir / "outputs").iterdir())
+        assert [p.name for p in old_outputs] == [p.name for p in new_outputs]
+        for old_path, new_path in zip(old_outputs, new_outputs):
+            assert old_path.read_bytes() == new_path.read_bytes(), old_path.name

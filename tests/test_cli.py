@@ -185,3 +185,69 @@ class TestBatch:
         payload = json.loads(report_path.read_text())
         assert payload["done"] == 1
         assert payload["jobs"][0]["job_id"] == "adder-w6"
+
+
+class TestSweep:
+    def _spec(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-sweep",
+            "instances": [
+                {"generate": "adder", "width": 6},
+                {"generate": "max", "width": 6},
+            ],
+            "verify": "sim",
+            "time_limit": 60,
+        }))
+        return spec_path
+
+    def test_sweep_runs_and_reports(self, capsys, tmp_path):
+        import json
+
+        workdir = tmp_path / "sweep"
+        matrix = tmp_path / "MATRIX.jsonl"
+        report_path = tmp_path / "report.json"
+        code = main(
+            ["sweep", "--workdir", str(workdir),
+             "--spec", str(self._spec(tmp_path)),
+             "--shards", "2", "--backoff", "0.05", "--grace", "1",
+             "--matrix", str(matrix), "--report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 done" in out
+        assert "shard h0" in out and "shard h1" in out
+        assert len(matrix.read_text().splitlines()) == 2
+        payload = json.loads(report_path.read_text())
+        assert payload["done"] == 2
+        assert set(payload["shards"]) == {"h0", "h1"}
+
+    def test_sweep_requires_spec_or_resume(self, tmp_path):
+        with pytest.raises(SystemExit, match="spec"):
+            main(["sweep", "--workdir", str(tmp_path / "sweep")])
+
+    def test_sweep_rejects_bad_spec(self, tmp_path):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text('{"name": "x", "instances": []}')
+        with pytest.raises(SystemExit, match="bad sweep spec"):
+            main(["sweep", "--workdir", str(tmp_path / "sweep"),
+                  "--spec", str(spec_path)])
+
+    def test_sweep_refuses_to_clobber_state(self, capsys, tmp_path):
+        workdir = tmp_path / "sweep"
+        spec_path = self._spec(tmp_path)
+        assert main(
+            ["sweep", "--workdir", str(workdir), "--spec", str(spec_path),
+             "--backoff", "0.05", "--grace", "1"]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="resume"):
+            main(["sweep", "--workdir", str(workdir),
+                  "--spec", str(spec_path)])
+
+    def test_shard_flag_rejects_explicit_circuits(self, tmp_path):
+        with pytest.raises(SystemExit, match="pre-submitted"):
+            main(["batch", "--shard", "--generate", "adder",
+                  "--workdir", str(tmp_path / "shard")])

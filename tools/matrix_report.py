@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Render the standing scenario matrix and gate on quality regressions.
+
+``benchmarks/results/MATRIX.jsonl`` is an append-only trend log: every
+``migopt sweep`` / ``bench_matrix.py`` run appends one row per completed
+scenario.  This tool groups rows by scenario id, renders a per-scenario
+trend table (latest size/depth against the previous entry for the same
+scenario), and aggregates the latest-vs-previous ratios as geometric
+means — the paper's "average improvement" aggregation, applied over
+time instead of over variants.
+
+Exit code 1 when quality regressed more than the threshold (default 5%):
+either geomean (size or depth) above ``1 + threshold``, or — with
+``--strict`` — any single scenario above it.  Usage::
+
+    python tools/matrix_report.py [MATRIX.jsonl] [--threshold 0.05]
+        [--strict] [--output results/matrix_trend.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_MATRIX = REPO_ROOT / "benchmarks" / "results" / "MATRIX.jsonl"
+
+
+def load_rows(path: Path) -> list[dict]:
+    rows = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                skipped += 1  # torn tail from a killed publisher
+                continue
+            if isinstance(row, dict) and row.get("scenario"):
+                rows.append(row)
+    if skipped:
+        print(f"[matrix] skipped {skipped} malformed line(s)", file=sys.stderr)
+    return rows
+
+
+def by_scenario(rows: list[dict]) -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = {}
+    for row in rows:  # file order == append order == generation order
+        grouped.setdefault(row["scenario"], []).append(row)
+    return grouped
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        return 1.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def _ratio(latest, previous) -> float | None:
+    try:
+        latest, previous = float(latest), float(previous)
+    except (TypeError, ValueError):
+        return None
+    if previous <= 0:
+        return None
+    return latest / previous
+
+
+def render(grouped: dict[str, list[dict]]) -> tuple[str, list[tuple[str, float, float]]]:
+    """Build the trend table; returns (text, per-scenario latest/prev ratios)."""
+    headers = ["Scenario", "Runs", "S", "D", "RT", "S prev", "D prev",
+               "S ratio", "D ratio", "Verified"]
+    widths = [len(h) for h in headers]
+    table_rows: list[list[str]] = []
+    ratios: list[tuple[str, float, float]] = []
+    for scenario in sorted(grouped):
+        history = grouped[scenario]
+        latest = history[-1]
+        previous = history[-2] if len(history) > 1 else None
+        s_ratio = d_ratio = None
+        if previous is not None:
+            s_ratio = _ratio(latest.get("size_after"), previous.get("size_after"))
+            d_ratio = _ratio(latest.get("depth_after"), previous.get("depth_after"))
+        if s_ratio is not None and d_ratio is not None:
+            ratios.append((scenario, s_ratio, d_ratio))
+        table_rows.append([
+            scenario,
+            str(len(history)),
+            str(latest.get("size_after", "?")),
+            str(latest.get("depth_after", "?")),
+            f"{latest['runtime']:.2f}" if latest.get("runtime") is not None else "-",
+            str(previous.get("size_after", "?")) if previous else "-",
+            str(previous.get("depth_after", "?")) if previous else "-",
+            f"{s_ratio:.3f}" if s_ratio is not None else "-",
+            f"{d_ratio:.3f}" if d_ratio is not None else "-",
+            "yes" if latest.get("verified") else "NO",
+        ])
+    for row in table_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["Standing scenario matrix — per-scenario trend", ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if ratios:
+        s_geo = geomean([s for _, s, _ in ratios])
+        d_geo = geomean([d for _, _, d in ratios])
+        lines.append("")
+        lines.append(
+            f"Latest vs previous over {len(ratios)} scenario(s): "
+            f"size geomean {s_geo:.3f}, depth geomean {d_geo:.3f} "
+            "(< 1 improved, > 1 regressed)"
+        )
+    return "\n".join(lines) + "\n", ratios
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("matrix", nargs="?", default=str(DEFAULT_MATRIX),
+                        help=f"trend JSONL (default: {DEFAULT_MATRIX})")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="regression gate on the latest/previous ratio "
+                        "(default: 0.05 = fail above +5%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail when any single scenario regresses "
+                        "past the threshold (default: geomean only)")
+    parser.add_argument("--output", metavar="PATH",
+                        help="also write the rendered table to PATH")
+    args = parser.parse_args()
+
+    path = Path(args.matrix)
+    if not path.exists():
+        print(f"[matrix] {path} does not exist", file=sys.stderr)
+        return 1
+    rows = load_rows(path)
+    if not rows:
+        print(f"[matrix] {path} has no scenario rows", file=sys.stderr)
+        return 1
+    grouped = by_scenario(rows)
+    text, ratios = render(grouped)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+
+    unverified = [
+        scenario for scenario, history in grouped.items()
+        if not history[-1].get("verified")
+    ]
+    if unverified:
+        print(f"[matrix] FAIL: unverified scenario(s): {sorted(unverified)}",
+              file=sys.stderr)
+        return 1
+
+    limit = 1.0 + args.threshold
+    failed = False
+    if ratios:
+        s_geo = geomean([s for _, s, _ in ratios])
+        d_geo = geomean([d for _, _, d in ratios])
+        if s_geo > limit or d_geo > limit:
+            print(f"[matrix] FAIL: geomean regression beyond +"
+                  f"{args.threshold:.0%} (size {s_geo:.3f}, depth {d_geo:.3f})",
+                  file=sys.stderr)
+            failed = True
+        if args.strict:
+            for scenario, s_ratio, d_ratio in ratios:
+                if s_ratio > limit or d_ratio > limit:
+                    print(f"[matrix] FAIL: {scenario} regressed "
+                          f"(size {s_ratio:.3f}, depth {d_ratio:.3f})",
+                          file=sys.stderr)
+                    failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
